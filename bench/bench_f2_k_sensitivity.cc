@@ -1,0 +1,79 @@
+// F2 — Sensitivity to the number of clusters K.
+//
+// Sweeps CREW's cluster budget (auto-K disabled) and reports faithfulness
+// (AOPC), coherence and silhouette per K, plus the K that silhouette-based
+// auto selection picks. Expected shape: faithfulness saturates at small K
+// while comprehensibility degrades as K grows toward word-level.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== F2: CREW sensitivity to K ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  crew::Table table(
+      {"dataset", "k", "aopc", "coherence", "silhouette", "eff_units"});
+  crew::Tokenizer tokenizer;
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    for (int k = 2; k <= 12; k += 2) {
+      crew::CrewConfig config;
+      config.importance.perturbation.num_samples = options.samples;
+      config.auto_k = false;
+      config.min_clusters = k;
+      config.max_clusters = k;
+      crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
+      double aopc = 0.0, coherence = 0.0, silhouette = 0.0, eff = 0.0;
+      int n = 0;
+      for (int idx : prepared.instances) {
+        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
+        auto e = explainer.ExplainClusters(
+            *prepared.pipeline.matcher, pair,
+            options.seed ^ (static_cast<uint64_t>(idx) << 18));
+        crew::bench::DieIfError(e.status());
+        if (e->units.empty()) continue;
+        crew::EvalInstance instance{
+            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
+            e->units, e->words.base_score,
+            prepared.pipeline.matcher->threshold()};
+        aopc += crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
+        coherence += e->coherence;
+        silhouette += e->silhouette;
+        const auto comp = crew::EvaluateComprehensibility(
+            e->words, e->units, prepared.pipeline.embeddings.get());
+        eff += comp.effective_units;
+        ++n;
+      }
+      if (n == 0) continue;
+      table.AddRow({prepared.name, std::to_string(k),
+                    crew::Table::Num(aopc / n),
+                    crew::Table::Num(coherence / n),
+                    crew::Table::Num(silhouette / n),
+                    crew::Table::Num(eff / n, 1)});
+    }
+    // What auto-K chooses on this dataset, for reference.
+    crew::CrewConfig auto_config;
+    auto_config.importance.perturbation.num_samples = options.samples;
+    crew::CrewExplainer auto_explainer(prepared.pipeline.embeddings,
+                                       auto_config);
+    double mean_k = 0.0;
+    int n = 0;
+    for (int idx : prepared.instances) {
+      auto e = auto_explainer.ExplainClusters(
+          *prepared.pipeline.matcher, prepared.pipeline.test.pair(idx),
+          options.seed);
+      crew::bench::DieIfError(e.status());
+      mean_k += e->chosen_k;
+      ++n;
+    }
+    std::printf("%s: silhouette auto-K mean = %.1f\n", prepared.name.c_str(),
+                n > 0 ? mean_k / n : 0.0);
+  }
+  std::printf("\n%s\n", table.ToAligned().c_str());
+  return 0;
+}

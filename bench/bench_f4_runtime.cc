@@ -1,0 +1,50 @@
+// F4 — Runtime scaling: explanation latency vs perturbation budget.
+//
+// Every perturbation explainer is linear in the sample budget (each sample
+// is one matcher call); CERTA is linear in tokens x substitutions. The
+// bench sweeps the budget and reports mean milliseconds per explanation.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crew/common/timer.h"
+
+int main(int argc, char** argv) {
+  auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  if (options.dataset.empty()) {
+    options.dataset = "products-structured";  // one dataset suffices here
+  }
+  std::printf(
+      "== F4: explanation runtime vs perturbation samples ==\n"
+      "matcher=%s dataset=%s instances=%d\n\n",
+      options.matcher.c_str(), options.dataset.c_str(), options.instances);
+
+  const auto entries = options.Datasets();
+  const auto prepared = crew::bench::Prepare(entries[0], options);
+
+  crew::Table table({"samples", "explainer", "ms/explanation"});
+  for (int samples : {32, 64, 128, 256, 512, 1024}) {
+    crew::ExplainerSuiteConfig config;
+    config.num_samples = samples;
+    config.include_random = false;
+    const auto suite = crew::BuildExplainerSuite(
+        prepared.pipeline.embeddings, prepared.pipeline.train, config);
+    for (const auto& explainer : suite) {
+      crew::WallTimer timer;
+      int n = 0;
+      for (int idx : prepared.instances) {
+        auto e = explainer->Explain(*prepared.pipeline.matcher,
+                                    prepared.pipeline.test.pair(idx),
+                                    options.seed + idx);
+        crew::bench::DieIfError(e.status());
+        ++n;
+      }
+      table.AddRow({std::to_string(samples), explainer->Name(),
+                    crew::Table::Num(timer.ElapsedMillis() / n, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  std::printf(
+      "(CERTA's cost is per-token, not per-sample, so its column is flat)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// F5 — Explanation quality split by predicted class.
+//
+// Landmark's motivating observation: explaining *non-matches* is the hard
+// case for drop-only perturbation (removing tokens cannot create matching
+// evidence). This bench reports AOPC separately for predicted matches and
+// predicted non-matches. Expected shape: injection-capable explainers
+// (landmark, lemon, crew) hold up on non-matches; plain LIME degrades.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== F5: faithfulness split by predicted class ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  crew::Table table(
+      {"dataset", "explainer", "aopc(match)", "aopc(nonmatch)"});
+  crew::Tokenizer tokenizer;
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    const auto suite =
+        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
+                                  prepared.pipeline.train,
+                                  crew::bench::SuiteConfig(options));
+    for (const auto& explainer : suite) {
+      double aopc_match = 0.0, aopc_nonmatch = 0.0;
+      int n_match = 0, n_nonmatch = 0;
+      for (int idx : prepared.instances) {
+        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
+        auto explained = crew::ExplainAsUnits(
+            *explainer, *prepared.pipeline.matcher, pair,
+            options.seed ^ (static_cast<uint64_t>(idx) << 18));
+        crew::bench::DieIfError(explained.status());
+        if (explained->second.empty()) continue;
+        crew::EvalInstance instance{
+            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
+            explained->second, explained->first.base_score,
+            prepared.pipeline.matcher->threshold()};
+        const double aopc =
+            crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
+        if (instance.PredictedMatch()) {
+          aopc_match += aopc;
+          ++n_match;
+        } else {
+          aopc_nonmatch += aopc;
+          ++n_nonmatch;
+        }
+      }
+      table.AddRow(
+          {prepared.name, explainer->Name(),
+           n_match > 0 ? crew::Table::Num(aopc_match / n_match) : "n/a",
+           n_nonmatch > 0 ? crew::Table::Num(aopc_nonmatch / n_nonmatch)
+                          : "n/a"});
+    }
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// F6 — Counterfactual flip-set size: how many explanation units (and how
+// many words) must be removed, in the explainer's own ranking, before the
+// prediction flips. CERTA's counterfactual criterion; smaller = the
+// explanation isolates the decisive evidence. Also reports the flip rate
+// (fraction of instances that flip at all before the explanation runs
+// out).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== F6: minimal flip sets ==\n"
+      "matcher=%s samples=%d instances/dataset=%d (averaged over "
+      "datasets)\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  struct Acc {
+    double units = 0.0, tokens = 0.0, flips = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, Acc> by_explainer;
+  crew::Tokenizer tokenizer;
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    const auto suite =
+        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
+                                  prepared.pipeline.train,
+                                  crew::bench::SuiteConfig(options));
+    for (const auto& explainer : suite) {
+      for (int idx : prepared.instances) {
+        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
+        auto explained = crew::ExplainAsUnits(
+            *explainer, *prepared.pipeline.matcher, pair,
+            options.seed ^ (static_cast<uint64_t>(idx) << 18));
+        crew::bench::DieIfError(explained.status());
+        if (explained->second.empty()) continue;
+        crew::EvalInstance instance{
+            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
+            explained->second, explained->first.base_score,
+            prepared.pipeline.matcher->threshold()};
+        const auto flip =
+            crew::MinimalFlipSet(*prepared.pipeline.matcher, instance);
+        Acc& acc = by_explainer[explainer->Name()];
+        if (flip.flipped) {
+          acc.units += flip.units_removed;
+          acc.tokens += flip.tokens_removed;
+          acc.flips += 1.0;
+        }
+        ++acc.n;
+      }
+    }
+  }
+
+  crew::Table table({"explainer", "flip%", "units-to-flip",
+                     "words-to-flip"});
+  for (const auto& [name, acc] : by_explainer) {
+    const double flips = acc.flips > 0 ? acc.flips : 1.0;
+    table.AddRow({name, crew::Table::Num(100.0 * acc.flips / acc.n, 1),
+                  crew::Table::Num(acc.units / flips, 2),
+                  crew::Table::Num(acc.tokens / flips, 2)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  std::printf("(units/words averaged over flipped instances only)\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks (google-benchmark) for the hot inner loops: tokenizer,
+// string similarity, ridge solve, agglomerative clustering, matcher
+// prediction, SGNS training step throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "crew/common/rng.h"
+#include "crew/core/agglomerative.h"
+#include "crew/data/generator.h"
+#include "crew/embed/sgns.h"
+#include "crew/la/ridge.h"
+#include "crew/model/trainer.h"
+#include "crew/text/string_similarity.h"
+#include "crew/text/tokenizer.h"
+
+namespace {
+
+void BM_Tokenize(benchmark::State& state) {
+  crew::Tokenizer tokenizer;
+  const std::string text =
+      "Vortexa Wireless Headphones MX-4821 with noise cancelling, "
+      "bluetooth 5.0 and fast-charging in graphite";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const std::string a(state.range(0), 'a');
+  std::string b(state.range(0), 'a');
+  for (size_t i = 0; i < b.size(); i += 3) b[i] = 'b';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crew::LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crew::JaroWinklerSimilarity("corporation", "corporaiton"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_RidgeFit(benchmark::State& state) {
+  const int n = 256;
+  const int d = static_cast<int>(state.range(0));
+  crew::Rng rng(1);
+  crew::la::Matrix x(n, d);
+  crew::la::Vec y(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) x.At(i, j) = rng.Uniform();
+    y[i] = rng.Uniform();
+  }
+  for (auto _ : state) {
+    crew::la::RidgeModel model;
+    benchmark::DoNotOptimize(crew::la::FitRidge(x, y, {}, 1.0, &model));
+  }
+}
+BENCHMARK(BM_RidgeFit)->Arg(16)->Arg(48);
+
+void BM_Agglomerative(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  crew::Rng rng(2);
+  crew::la::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      d.At(i, j) = d.At(j, i) = rng.Uniform();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crew::AgglomerativeCluster(d, crew::Linkage::kAverage));
+  }
+}
+BENCHMARK(BM_Agglomerative)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_MatcherPredict(benchmark::State& state) {
+  static const auto* pipeline = [] {
+    crew::GeneratorConfig config;
+    config.num_matches = 100;
+    config.num_nonmatches = 100;
+    auto d = crew::GenerateDataset(config);
+    CREW_CHECK(d.ok());
+    auto p = crew::TrainPipeline(d.value(), crew::MatcherKind::kMlp, 0.7, 7);
+    CREW_CHECK(p.ok());
+    return new crew::TrainedPipeline(std::move(p.value()));
+  }();
+  const crew::RecordPair& pair = pipeline->test.pair(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline->matcher->PredictProba(pair));
+  }
+}
+BENCHMARK(BM_MatcherPredict);
+
+void BM_SgnsEpoch(benchmark::State& state) {
+  crew::Corpus corpus;
+  crew::Rng rng(3);
+  for (int s = 0; s < 200; ++s) {
+    std::vector<std::string> sentence;
+    for (int w = 0; w < 12; ++w) {
+      sentence.push_back("w" + std::to_string(rng.UniformInt(300)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  for (auto _ : state) {
+    crew::SgnsConfig config;
+    config.dim = 16;
+    config.epochs = 1;
+    config.min_count = 1;
+    benchmark::DoNotOptimize(crew::TrainSgnsEmbeddings(corpus, config));
+  }
+}
+BENCHMARK(BM_SgnsEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// T1 — Benchmark dataset statistics.
+//
+// The "Table 1: datasets" every EM paper opens its evaluation with: pair
+// counts, match ratio, vocabulary size, record length, and the token
+// overlap gap between matches and non-matches (the signal the matchers
+// learn and the explainers must surface).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf("== T1: dataset statistics ==\n\n");
+  crew::Table table({"dataset", "pairs", "match%", "vocab", "tokens/rec",
+                     "jaccard(match)", "jaccard(nonmatch)"});
+  crew::Tokenizer tokenizer;
+  for (const auto& entry : options.Datasets()) {
+    auto dataset = crew::GenerateDataset(entry.config);
+    crew::bench::DieIfError(dataset.status());
+    const auto stats = crew::ComputeStats(dataset.value(), tokenizer);
+    table.AddRow({entry.name, std::to_string(stats.pairs),
+                  crew::Table::Num(100.0 * stats.match_ratio, 1),
+                  std::to_string(stats.vocabulary_size),
+                  crew::Table::Num(stats.avg_tokens_per_record, 1),
+                  crew::Table::Num(stats.avg_token_overlap_match),
+                  crew::Table::Num(stats.avg_token_overlap_nonmatch)});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

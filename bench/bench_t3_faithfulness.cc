@@ -1,0 +1,81 @@
+// T3 — Faithfulness: AOPC deletion score of every explainer on every
+// dataset (the paper's headline comparison). Also reports the equal-token
+// comprehensiveness@5-words column, which removes CREW's advantage of
+// deleting several words per unit.
+//
+// Expected shape: CREW >= Landmark/LEMON >= LIME/Mojito >> random.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "crew/eval/significance.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== T3: faithfulness (AOPC deletion / equal-token compr@5w) ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  crew::Table table({"dataset", "explainer", "aopc", "compr@5w", "flip%",
+                     "r2"});
+  std::map<std::string, std::pair<double, int>> overall;
+  // Paired per-instance AOPC samples for the significance test.
+  std::map<std::string, std::vector<double>> samples_by_explainer;
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    const auto suite =
+        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
+                                  prepared.pipeline.train,
+                                  crew::bench::SuiteConfig(options));
+    for (const auto& explainer : suite) {
+      std::vector<double> per_instance;
+      auto agg = crew::EvaluateExplainerOnDataset(
+          *explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
+          prepared.instances, prepared.pipeline.embeddings.get(),
+          options.seed, &per_instance);
+      crew::bench::DieIfError(agg.status());
+      auto& samples = samples_by_explainer[agg->name];
+      samples.insert(samples.end(), per_instance.begin(),
+                     per_instance.end());
+      table.AddRow({prepared.name, agg->name, crew::Table::Num(agg->aopc),
+                    crew::Table::Num(agg->comprehensiveness_budget5),
+                    crew::Table::Num(100.0 * agg->decision_flip_rate, 1),
+                    crew::Table::Num(agg->surrogate_r2, 2)});
+      auto& [sum, n] = overall[agg->name];
+      sum += agg->aopc;
+      ++n;
+    }
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+
+  std::printf("-- mean AOPC across datasets --\n");
+  crew::Table summary({"explainer", "mean_aopc"});
+  for (const auto& [name, acc] : overall) {
+    summary.AddRow({name, crew::Table::Num(acc.first / acc.second)});
+  }
+  std::printf("%s\n", summary.ToAligned().c_str());
+
+  // Paired bootstrap: is CREW's AOPC advantage over each baseline
+  // statistically solid on these instances?
+  const auto crew_it = samples_by_explainer.find("crew");
+  if (crew_it != samples_by_explainer.end()) {
+    std::printf("-- paired bootstrap, crew vs baseline (one-sided) --\n");
+    crew::Table sig({"baseline", "mean diff", "95% CI", "p-value"});
+    for (const auto& [name, samples] : samples_by_explainer) {
+      if (name == "crew" || samples.size() != crew_it->second.size()) {
+        continue;
+      }
+      auto cmp = crew::PairedBootstrap(crew_it->second, samples, 2000,
+                                       options.seed);
+      if (!cmp.ok()) continue;
+      sig.AddRow({name, crew::Table::Num(cmp->mean_difference),
+                  "[" + crew::Table::Num(cmp->ci_low) + ", " +
+                      crew::Table::Num(cmp->ci_high) + "]",
+                  crew::Table::Num(cmp->p_value)});
+    }
+    std::printf("%s\n", sig.ToAligned().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// T5 — Comprehensibility: how much a user must read.
+//
+// CREW's claim is explanations that are *smaller* (few units), *coherent*
+// (semantically similar words grouped) and *structured* (units respect
+// attributes). Word-level baselines have one unit per word by construction.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== T5: comprehensibility ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n"
+      "units: total explanation units; eff: units covering 90%% of weight\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  crew::Table table({"dataset", "explainer", "units", "eff_units",
+                     "words/unit", "coherence", "attr_purity"});
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    const auto suite =
+        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
+                                  prepared.pipeline.train,
+                                  crew::bench::SuiteConfig(options));
+    for (const auto& explainer : suite) {
+      auto agg = crew::EvaluateExplainerOnDataset(
+          *explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
+          prepared.instances, prepared.pipeline.embeddings.get(),
+          options.seed);
+      crew::bench::DieIfError(agg.status());
+      table.AddRow({prepared.name, agg->name,
+                    crew::Table::Num(agg->total_units, 1),
+                    crew::Table::Num(agg->effective_units, 1),
+                    crew::Table::Num(agg->words_per_unit, 1),
+                    crew::Table::Num(agg->semantic_coherence),
+                    crew::Table::Num(agg->attribute_purity, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// T6 — Stability: mean pairwise Jaccard of the top-10 attributed words
+// across 4 sampling seeds. Perturbation explainers are stochastic; an
+// explanation a user cannot reproduce is not trustworthy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crew/eval/stability.h"
+
+int main(int argc, char** argv) {
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  const std::vector<uint64_t> seeds = {11, 22, 33, 44};
+  const int top_k = 10;
+  std::printf(
+      "== T6: stability (Jaccard@%d of top words, %d seeds) ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n\n",
+      top_k, static_cast<int>(seeds.size()), options.matcher.c_str(),
+      options.samples, options.instances);
+
+  crew::Table table({"dataset", "explainer", "jaccard@10"});
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    const auto suite =
+        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
+                                  prepared.pipeline.train,
+                                  crew::bench::SuiteConfig(options));
+    const int n_instances =
+        std::min<int>(4, static_cast<int>(prepared.instances.size()));
+    for (const auto& explainer : suite) {
+      double total = 0.0;
+      int count = 0;
+      for (int i = 0; i < n_instances; ++i) {
+        auto stability = crew::ExplainerStability(
+            *explainer, *prepared.pipeline.matcher,
+            prepared.pipeline.test.pair(prepared.instances[i]), seeds, top_k);
+        crew::bench::DieIfError(stability.status());
+        total += stability.value();
+        ++count;
+      }
+      table.AddRow({prepared.name, explainer->Name(),
+                    crew::Table::Num(count > 0 ? total / count : 0.0)});
+    }
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// T7 — Global (dataset-level) explanation: which attributes and tokens
+// drive the matcher overall. The audit view that lifts local CREW
+// explanations to a model summary; sanity-checks that the matcher uses
+// the decisive schema columns (model numbers, years, street numbers)
+// rather than filler text.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crew/eval/global_explanation.h"
+
+int main(int argc, char** argv) {
+  auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  std::printf(
+      "== T7: global explanations (attribute influence shares) ==\n"
+      "matcher=%s samples=%d instances/dataset=%d\n\n",
+      options.matcher.c_str(), options.samples, options.instances);
+
+  crew::Table table({"dataset", "top attribute", "share", "top tokens"});
+  for (const auto& entry : options.Datasets()) {
+    const auto prepared = crew::bench::Prepare(entry, options);
+    crew::CrewConfig config;
+    config.importance.perturbation.num_samples = options.samples;
+    crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
+    auto global = crew::BuildGlobalExplanation(
+        explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
+        prepared.instances, options.seed);
+    crew::bench::DieIfError(global.status());
+    std::string tokens;
+    for (size_t t = 0; t < global->tokens.size() && t < 4; ++t) {
+      if (t > 0) tokens += ", ";
+      tokens += global->tokens[t].token;
+    }
+    table.AddRow({prepared.name,
+                  global->attributes.empty() ? "-"
+                                             : global->attributes[0].name,
+                  global->attributes.empty()
+                      ? "-"
+                      : crew::Table::Num(global->attributes[0].share, 2),
+                  tokens});
+  }
+  std::printf("%s\n", table.ToAligned().c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+#ifndef CREW_BENCH_BENCH_UTIL_H_
+#define CREW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "crew/common/flags.h"
+#include "crew/data/benchmark_suite.h"
+#include "crew/eval/experiment.h"
+#include "crew/eval/table.h"
+#include "crew/model/trainer.h"
+
+namespace crew::bench {
+
+/// Shared experiment knobs parsed from the command line; every bench binary
+/// accepts the same flags so sweeps are scriptable.
+struct BenchOptions {
+  int matches = 250;
+  int nonmatches = 350;
+  int instances = 12;    ///< explained pairs per dataset
+  int samples = 96;      ///< perturbation samples per explanation
+  uint64_t seed = 7;
+  std::string matcher = "mlp";
+  std::string dataset;   ///< empty = all nine
+
+  static BenchOptions Parse(int argc, char** argv) {
+    FlagParser flags(argc, argv);
+    if (!flags.status().ok()) {
+      std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+      std::exit(1);
+    }
+    BenchOptions o;
+    o.matches = flags.GetInt("matches", o.matches);
+    o.nonmatches = flags.GetInt("nonmatches", o.nonmatches);
+    o.instances = flags.GetInt("instances", o.instances);
+    o.samples = flags.GetInt("samples", o.samples);
+    o.seed = flags.GetUint64("seed", o.seed);
+    o.matcher = flags.GetString("matcher", o.matcher);
+    o.dataset = flags.GetString("dataset", o.dataset);
+    return o;
+  }
+
+  MatcherKind MatcherKindOrDie() const {
+    for (MatcherKind kind : AllMatcherKinds()) {
+      if (matcher == MatcherKindName(kind)) return kind;
+    }
+    std::fprintf(stderr, "unknown matcher: %s\n", matcher.c_str());
+    std::exit(1);
+  }
+
+  std::vector<BenchmarkEntry> Datasets() const {
+    std::vector<BenchmarkEntry> all =
+        StandardBenchmark(seed, matches, nonmatches);
+    if (dataset.empty()) return all;
+    for (auto& entry : all) {
+      if (entry.name == dataset) return {entry};
+    }
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset.c_str());
+    std::exit(1);
+  }
+};
+
+/// Dies with a message when `status` is not OK (bench binaries have no
+/// recovery path).
+inline void DieIfError(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// One dataset's trained pipeline + selected explanation instances.
+struct PreparedDataset {
+  std::string name;
+  TrainedPipeline pipeline;
+  std::vector<int> instances;
+};
+
+inline PreparedDataset Prepare(const BenchmarkEntry& entry,
+                               const BenchOptions& options) {
+  PreparedDataset out;
+  out.name = entry.name;
+  auto dataset = GenerateDataset(entry.config);
+  DieIfError(dataset.status());
+  auto pipeline = TrainPipeline(dataset.value(), options.MatcherKindOrDie(),
+                                0.7, options.seed);
+  DieIfError(pipeline.status());
+  out.pipeline = std::move(pipeline.value());
+  Rng rng(options.seed ^ 0xbeac4ULL);
+  out.instances = SelectExplainInstances(*out.pipeline.matcher,
+                                         out.pipeline.test,
+                                         options.instances, rng);
+  return out;
+}
+
+inline ExplainerSuiteConfig SuiteConfig(const BenchOptions& options) {
+  ExplainerSuiteConfig config;
+  config.num_samples = options.samples;
+  return config;
+}
+
+}  // namespace crew::bench
+
+#endif  // CREW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+#include "crew/common/flags.h"
+
+#include <cstdlib>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      status_ = Status::InvalidArgument("unexpected positional argument: " +
+                                        std::string(arg));
+      return;
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string FlagParser::GetString(std::string_view name,
+                                  std::string_view def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(def) : it->second;
+}
+
+int FlagParser::GetInt(std::string_view name, int def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  int v = def;
+  return ParseInt(it->second, &v) ? v : def;
+}
+
+double FlagParser::GetDouble(std::string_view name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  double v = def;
+  return ParseDouble(it->second, &v) ? v : def;
+}
+
+bool FlagParser::GetBool(std::string_view name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string v = AsciiLower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+uint64_t FlagParser::GetUint64(std::string_view name, uint64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+  if (end != it->second.c_str() + it->second.size()) return def;
+  return v;
+}
+
+}  // namespace crew

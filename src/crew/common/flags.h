@@ -1,0 +1,41 @@
+#ifndef CREW_COMMON_FLAGS_H_
+#define CREW_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "crew/common/status.h"
+
+namespace crew {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+/// Accepts `--name=value` and `--name value`; bare `--name` sets "true".
+/// Unknown positional arguments are an error. Example:
+///
+///   FlagParser flags(argc, argv);
+///   int samples = flags.GetInt("samples", 256);
+///   uint64_t seed = flags.GetUint64("seed", 7);
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  /// Non-OK if the command line was malformed.
+  const Status& status() const { return status_; }
+
+  bool Has(std::string_view name) const;
+  std::string GetString(std::string_view name, std::string_view def) const;
+  int GetInt(std::string_view name, int def) const;
+  double GetDouble(std::string_view name, double def) const;
+  bool GetBool(std::string_view name, bool def) const;
+  uint64_t GetUint64(std::string_view name, uint64_t def) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  Status status_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_FLAGS_H_

@@ -1,0 +1,57 @@
+#include "crew/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crew {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() { Emit(); }
+
+void LogMessage::Emit() {
+  if (emitted_) return;
+  emitted_ = true;
+  if (severity_ < MinLogSeverity()) return;
+  // Strip directories from the file path for compact output.
+  const char* base = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), base, line_,
+               stream_.str().c_str());
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit();
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace crew

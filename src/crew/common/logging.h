@@ -1,0 +1,80 @@
+#ifndef CREW_COMMON_LOGGING_H_
+#define CREW_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crew {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is actually emitted (default: kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Used via the CREW_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ protected:
+  /// Writes the buffered message to stderr; idempotent.
+  void Emit();
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  bool emitted_ = false;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogSeverity::kError, file, line) {}
+  ~FatalLogMessage();  // Aborts the process after emitting the message.
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    LogMessage::operator<<(v);
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace crew
+
+#define CREW_LOG(severity)                                               \
+  ::crew::internal_logging::LogMessage(::crew::LogSeverity::k##severity, \
+                                       __FILE__, __LINE__)
+
+#define CREW_LOG_FATAL \
+  ::crew::internal_logging::FatalLogMessage(__FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all build
+/// modes: CREW treats invariant violations as programming errors, matching
+/// the no-exceptions error model (Status is for *expected* failures).
+#define CREW_CHECK(condition) \
+  if (!(condition)) CREW_LOG_FATAL << "CHECK failed: " #condition " "
+
+#define CREW_CHECK_OK(expr)                                                 \
+  if (::crew::Status crew_check_ok_tmp_ = (expr); !crew_check_ok_tmp_.ok()) \
+  CREW_LOG_FATAL << "CHECK_OK failed: " << crew_check_ok_tmp_.ToString() << " "
+
+#define CREW_DCHECK(condition) CREW_CHECK(condition)
+
+#endif  // CREW_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "crew/common/rng.h"
+
+#include <numeric>
+
+namespace crew {
+namespace {
+
+// SplitMix64 finalizer; mixes seed and tag into a well-distributed stream id.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<int> Rng::SampleIndices(int n, int k) {
+  CREW_CHECK(n >= 0);
+  std::vector<int> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(all);
+  if (k < n) all.resize(k < 0 ? 0 : k);
+  return all;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  CREW_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return UniformInt(static_cast<int>(weights.size()));
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+Rng Rng::Fork(uint64_t tag) const {
+  return Rng(Mix64(seed_ ^ Mix64(tag)));
+}
+
+}  // namespace crew

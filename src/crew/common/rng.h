@@ -1,0 +1,79 @@
+#ifndef CREW_COMMON_RNG_H_
+#define CREW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+/// Deterministic random number generator.
+///
+/// Every stochastic component in CREW takes an explicit seed so experiments
+/// reproduce bit-for-bit. `Fork(tag)` derives an independent stream, which
+/// lets parallel or per-instance computations stay reproducible regardless
+/// of evaluation order.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Returns a uniform draw in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Returns a uniform draw in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Returns a uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n) {
+    CREW_DCHECK(n > 0);
+    return static_cast<int>(engine_() % static_cast<uint64_t>(n));
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    CREW_DCHECK(lo <= hi);
+    return lo + UniformInt(hi - lo + 1);
+  }
+
+  /// Returns a draw from N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Returns true with probability `p`.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[i], v[UniformInt(i + 1)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  /// If k >= n, returns a permutation of all n indices.
+  std::vector<int> SampleIndices(int n, int k);
+
+  /// Draws an index in [0, weights.size()) proportionally to `weights`.
+  /// Non-positive weights are treated as zero; if all weights are zero the
+  /// draw is uniform.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Derives an independent deterministic stream from this seed and `tag`.
+  Rng Fork(uint64_t tag) const;
+
+  /// Raw 64-bit draw (advances the engine state).
+  uint64_t NextRaw() { return engine_(); }
+
+ private:
+  uint64_t seed_;
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_RNG_H_

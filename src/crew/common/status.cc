@@ -1,0 +1,53 @@
+#include "crew/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace crew {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+namespace internal_status {
+
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "crew: Result<T>::value() on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace crew

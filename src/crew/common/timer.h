@@ -1,0 +1,29 @@
+#ifndef CREW_COMMON_TIMER_H_
+#define CREW_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace crew {
+
+/// Wall-clock stopwatch used by the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_TIMER_H_

@@ -1,0 +1,72 @@
+#include "crew/core/affinity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+
+la::Matrix BuildWordDistanceMatrix(
+    const std::vector<WordAttribution>& attributions,
+    const EmbeddingStore* embeddings, const AffinityWeights& weights) {
+  const int n = static_cast<int>(attributions.size());
+  la::Matrix dist(n, n);
+  if (n == 0) return dist;
+
+  // Importance scale: the weight range across the explanation.
+  double wmin = attributions[0].weight, wmax = attributions[0].weight;
+  for (const auto& a : attributions) {
+    wmin = std::min(wmin, a.weight);
+    wmax = std::max(wmax, a.weight);
+  }
+  const double wrange = wmax - wmin;
+
+  // Pre-resolve embedding ids so OOV handling is uniform.
+  std::vector<int> emb_id(n, -1);
+  if (embeddings != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      emb_id[i] = embeddings->vocab().GetId(attributions[i].token.text);
+    }
+  }
+
+  const double total = weights.Total();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double semantic = 0.5;
+      if (attributions[i].token.text == attributions[j].token.text) {
+        semantic = 0.0;
+      } else if (embeddings != nullptr && emb_id[i] >= 0 && emb_id[j] >= 0) {
+        semantic = (1.0 - embeddings->Similarity(attributions[i].token.text,
+                                                 attributions[j].token.text)) /
+                   2.0;
+      } else {
+        // OOV tokens (typos, rare model numbers) fall back to surface-form
+        // similarity so "corporaiton" still clusters with "corporation".
+        const double jw = JaroWinklerSimilarity(attributions[i].token.text,
+                                                attributions[j].token.text);
+        if (jw > 0.85) semantic = (1.0 - jw) / 2.0;
+      }
+      const double attribute =
+          attributions[i].token.attribute == attributions[j].token.attribute
+              ? 0.0
+              : 1.0;
+      const double importance =
+          wrange > 0.0
+              ? std::fabs(attributions[i].weight - attributions[j].weight) /
+                    wrange
+              : 0.0;
+      const double d =
+          total > 0.0
+              ? (weights.semantic * semantic + weights.attribute * attribute +
+                 weights.importance * importance) /
+                    total
+              : 0.0;
+      dist.At(i, j) = d;
+      dist.At(j, i) = d;
+    }
+  }
+  return dist;
+}
+
+}  // namespace crew

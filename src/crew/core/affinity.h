@@ -1,0 +1,39 @@
+#ifndef CREW_CORE_AFFINITY_H_
+#define CREW_CORE_AFFINITY_H_
+
+#include <memory>
+
+#include "crew/embed/embedding_store.h"
+#include "crew/explain/attribution.h"
+#include "crew/la/matrix.h"
+
+namespace crew {
+
+/// Relative weights of CREW's three knowledge sources when combining them
+/// into one word-to-word distance. Setting a weight to zero ablates that
+/// source (experiment F3).
+struct AffinityWeights {
+  double semantic = 1.0;    ///< word embedding similarity
+  double attribute = 1.0;   ///< arrangement into dataset attributes
+  double importance = 1.0;  ///< similarity of model attributions
+
+  double Total() const { return semantic + attribute + importance; }
+};
+
+/// Builds the n x n symmetric word distance matrix over the attributed
+/// tokens, each component normalized to [0, 1]:
+///  - semantic:   (1 - cosine(e_i, e_j)) / 2; 0.5 when either token is OOV;
+///  - attribute:  0 when the tokens occur under the same attribute
+///                (in either record — EM schemas align columns), else 1;
+///  - importance: |w_i - w_j| rescaled by the weight range, so words the
+///                model treats alike (same direction and magnitude) are
+///                close.
+/// The combined distance is the weighted mean by `weights`; if all weights
+/// are zero the distance is 0.
+la::Matrix BuildWordDistanceMatrix(
+    const std::vector<WordAttribution>& attributions,
+    const EmbeddingStore* embeddings, const AffinityWeights& weights);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_AFFINITY_H_

@@ -1,0 +1,136 @@
+#include "crew/core/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+  }
+  return "unknown";
+}
+
+std::vector<int> Dendrogram::CutToClusters(int k) const {
+  k = std::max(1, std::min(k, n));
+  // Union-find over leaves, applying merges until k clusters remain.
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::vector<int> root_of_cluster(n + merges.size());
+  for (int i = 0; i < n; ++i) root_of_cluster[i] = i;
+
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  const int merges_to_apply = n - k;
+  for (int t = 0; t < merges_to_apply; ++t) {
+    const int ra = find(root_of_cluster[merges[t].a]);
+    const int rb = find(root_of_cluster[merges[t].b]);
+    parent[rb] = ra;
+    root_of_cluster[n + t] = ra;
+  }
+  // Record the roots of later merges too so indices stay valid (unused
+  // when cutting, but keeps the array total).
+  for (size_t t = merges_to_apply; t < merges.size(); ++t) {
+    root_of_cluster[n + t] = find(root_of_cluster[merges[t].a]);
+  }
+
+  std::vector<int> labels(n, -1);
+  int next = 0;
+  std::vector<int> label_of_root(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const int r = find(i);
+    if (label_of_root[r] < 0) label_of_root[r] = next++;
+    labels[i] = label_of_root[r];
+  }
+  CREW_CHECK(next == k);
+  return labels;
+}
+
+Dendrogram AgglomerativeCluster(const la::Matrix& distance, Linkage linkage) {
+  CREW_CHECK(distance.rows() == distance.cols());
+  const int n = distance.rows();
+  Dendrogram dendrogram;
+  dendrogram.n = n;
+  if (n <= 1) return dendrogram;
+
+  // Working copy of pairwise distances between *active* clusters, indexed
+  // by cluster id (leaves 0..n-1, merged clusters n..2n-2).
+  const int max_clusters = 2 * n - 1;
+  la::Matrix d(max_clusters, max_clusters,
+               std::numeric_limits<double>::infinity());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) d.At(i, j) = distance.At(i, j);
+    }
+  }
+  std::vector<bool> active(max_clusters, false);
+  std::vector<int> size(max_clusters, 0);
+  for (int i = 0; i < n; ++i) {
+    active[i] = true;
+    size[i] = 1;
+  }
+
+  int next_id = n;
+  for (int step = 0; step < n - 1; ++step) {
+    // Find the closest active pair.
+    int best_a = -1, best_b = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < next_id; ++a) {
+      if (!active[a]) continue;
+      for (int b = a + 1; b < next_id; ++b) {
+        if (!active[b]) continue;
+        if (d.At(a, b) < best) {
+          best = d.At(a, b);
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    CREW_CHECK(best_a >= 0 && best_b >= 0);
+    const int merged = next_id++;
+    dendrogram.merges.push_back({best_a, best_b, best});
+    active[best_a] = false;
+    active[best_b] = false;
+    active[merged] = true;
+    size[merged] = size[best_a] + size[best_b];
+
+    // Lance-Williams update for the new cluster's distances.
+    for (int c = 0; c < merged; ++c) {
+      if (!active[c]) continue;
+      const double da = d.At(best_a, c);
+      const double db = d.At(best_b, c);
+      double dm = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          dm = std::min(da, db);
+          break;
+        case Linkage::kComplete:
+          dm = std::max(da, db);
+          break;
+        case Linkage::kAverage:
+          dm = (size[best_a] * da + size[best_b] * db) /
+               static_cast<double>(size[best_a] + size[best_b]);
+          break;
+      }
+      d.At(merged, c) = dm;
+      d.At(c, merged) = dm;
+    }
+  }
+  return dendrogram;
+}
+
+}  // namespace crew

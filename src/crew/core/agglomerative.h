@@ -1,0 +1,38 @@
+#ifndef CREW_CORE_AGGLOMERATIVE_H_
+#define CREW_CORE_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "crew/la/matrix.h"
+
+namespace crew {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+const char* LinkageName(Linkage linkage);
+
+/// Merge history of hierarchical agglomerative clustering over n items.
+/// Clusters are numbered like scipy: 0..n-1 are the leaves; merge t creates
+/// cluster n + t from `merges[t].a` and `merges[t].b`.
+struct Dendrogram {
+  struct Merge {
+    int a = -1;
+    int b = -1;
+    double distance = 0.0;
+  };
+  int n = 0;
+  std::vector<Merge> merges;  ///< exactly n - 1 entries for n > 0
+
+  /// Flat labels in [0, k) obtained by undoing the last k - 1 merges.
+  /// k is clamped to [1, n]. Label ids are assigned in leaf order.
+  std::vector<int> CutToClusters(int k) const;
+};
+
+/// Bottom-up clustering from a symmetric distance matrix with
+/// Lance-Williams distance updates. O(n^3) time, which is ample for
+/// explanation-sized n (tens of words).
+Dendrogram AgglomerativeCluster(const la::Matrix& distance, Linkage linkage);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_AGGLOMERATIVE_H_

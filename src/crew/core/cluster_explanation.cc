@@ -1,0 +1,69 @@
+#include "crew/core/cluster_explanation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+std::vector<int> ClusterExplanation::UnitsRankedBySupport(
+    double threshold) const {
+  const bool predicted_match = words.base_score >= threshold;
+  std::vector<int> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return predicted_match ? units[a].weight > units[b].weight
+                           : units[a].weight < units[b].weight;
+  });
+  return order;
+}
+
+std::string ClusterExplanation::ToString() const {
+  std::string out =
+      StrPrintf("prediction: %.3f  (k=%d, silhouette=%.3f, coherence=%.3f)\n",
+                words.base_score, chosen_k, silhouette, coherence);
+  for (size_t u = 0; u < units.size(); ++u) {
+    out += StrPrintf("  [%+.4f] %s", units[u].weight, units[u].label.c_str());
+    if (units[u].member_indices.size() > 3) {
+      out += StrPrintf(" (+%d more)",
+                       static_cast<int>(units[u].member_indices.size()) - 3);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<ExplanationUnit> SingletonUnits(const WordExplanation& words) {
+  std::vector<ExplanationUnit> units;
+  units.reserve(words.attributions.size());
+  for (size_t i = 0; i < words.attributions.size(); ++i) {
+    ExplanationUnit unit;
+    unit.member_indices = {static_cast<int>(i)};
+    unit.weight = words.attributions[i].weight;
+    unit.label = words.attributions[i].token.text;
+    units.push_back(std::move(unit));
+  }
+  std::sort(units.begin(), units.end(), [](const auto& a, const auto& b) {
+    return std::fabs(a.weight) > std::fabs(b.weight);
+  });
+  return units;
+}
+
+std::string MakeUnitLabel(const WordExplanation& words,
+                          const std::vector<int>& members, int max_tokens) {
+  // Show the highest-|weight| member tokens.
+  std::vector<int> order = members;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs(words.attributions[a].weight) >
+           std::fabs(words.attributions[b].weight);
+  });
+  std::vector<std::string> parts;
+  for (int i = 0; i < std::min<int>(max_tokens, order.size()); ++i) {
+    parts.push_back(words.attributions[order[i]].token.text);
+  }
+  return Join(parts, " + ");
+}
+
+}  // namespace crew

@@ -1,0 +1,53 @@
+#ifndef CREW_CORE_CLUSTER_EXPLANATION_H_
+#define CREW_CORE_CLUSTER_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// One explanation unit: a set of word indices (into the underlying word
+/// explanation) with an aggregate weight. Word-level explanations are the
+/// special case of singleton units; CREW produces multi-word clusters.
+struct ExplanationUnit {
+  std::vector<int> member_indices;
+  double weight = 0.0;
+  /// Up to three representative token texts, for display ("sony, wh, xm4").
+  std::string label;
+};
+
+/// Cluster-of-words explanation (CREW's output).
+struct ClusterExplanation {
+  /// The underlying word attributions (view order), kept for drill-down.
+  WordExplanation words;
+  /// Units sorted by decreasing |weight|.
+  std::vector<ExplanationUnit> units;
+  /// Mean within-cluster embedding similarity (comprehensibility signal).
+  double coherence = 0.0;
+  /// Silhouette of the chosen clustering.
+  double silhouette = 0.0;
+  int chosen_k = 0;
+  double runtime_ms = 0.0;
+
+  double base_score() const { return words.base_score; }
+
+  /// Unit indices sorted by decreasing support for the predicted class.
+  std::vector<int> UnitsRankedBySupport(double threshold = 0.5) const;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+/// Wraps a word-level explanation as singleton units so every explainer can
+/// be evaluated with the same unit-based metrics (each word = one unit).
+std::vector<ExplanationUnit> SingletonUnits(const WordExplanation& words);
+
+/// Builds a display label from the member tokens ("sony + wh + 1000xm4").
+std::string MakeUnitLabel(const WordExplanation& words,
+                          const std::vector<int>& members, int max_tokens = 3);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_CLUSTER_EXPLANATION_H_

@@ -1,0 +1,121 @@
+#include "crew/core/correlation_clustering.h"
+
+#include <algorithm>
+
+#include "crew/common/rng.h"
+
+namespace crew {
+namespace {
+
+// One CC-Pivot pass over a random permutation: repeatedly pick the first
+// unassigned item as pivot and absorb every unassigned positive neighbour.
+std::vector<int> PivotOnce(const la::Matrix& distance, double threshold,
+                           Rng& rng) {
+  const int n = distance.rows();
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<int> labels(n, -1);
+  int next = 0;
+  for (int idx = 0; idx < n; ++idx) {
+    const int pivot = order[idx];
+    if (labels[pivot] >= 0) continue;
+    const int cluster = next++;
+    labels[pivot] = cluster;
+    for (int j = idx + 1; j < n; ++j) {
+      const int other = order[j];
+      if (labels[other] >= 0) continue;
+      if (distance.At(pivot, other) < threshold) labels[other] = cluster;
+    }
+  }
+  return labels;
+}
+
+// Moves single items to whichever existing cluster minimizes their
+// disagreement contribution; repeats `sweeps` times.
+void LocalImprove(const la::Matrix& distance, double threshold, int sweeps,
+                  std::vector<int>& labels) {
+  const int n = static_cast<int>(labels.size());
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool moved = false;
+    for (int i = 0; i < n; ++i) {
+      // Disagreement delta of placing i in cluster c: for every other item
+      // j, a positive edge (d < tau) disagrees when labels differ and a
+      // negative edge disagrees when labels agree.
+      std::vector<int> cost(k + 1, 0);  // k = brand-new singleton cluster
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const bool positive = distance.At(i, j) < threshold;
+        for (int c = 0; c <= k; ++c) {
+          const bool same = c == labels[j];
+          if (positive != same) ++cost[c];
+        }
+      }
+      int best = labels[i];
+      for (int c = 0; c <= k; ++c) {
+        if (cost[c] < cost[best]) best = c;
+      }
+      if (best != labels[i]) {
+        labels[i] = best;
+        if (best == k) ++k;  // opened a new singleton cluster
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+// Renumbers labels densely in first-appearance order.
+void Compact(std::vector<int>& labels) {
+  std::vector<int> remap(labels.size() + 1, -1);
+  int next = 0;
+  for (int& l : labels) {
+    if (remap[l] < 0) remap[l] = next++;
+    l = remap[l];
+  }
+}
+
+}  // namespace
+
+int64_t CorrelationDisagreements(const la::Matrix& distance, double threshold,
+                                 const std::vector<int>& labels) {
+  const int n = static_cast<int>(labels.size());
+  int64_t disagreements = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const bool positive = distance.At(i, j) < threshold;
+      const bool same = labels[i] == labels[j];
+      if (positive != same) ++disagreements;
+    }
+  }
+  return disagreements;
+}
+
+std::vector<int> CorrelationCluster(const la::Matrix& distance,
+                                    const CorrelationClusteringConfig& config,
+                                    uint64_t seed) {
+  const int n = distance.rows();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+  Rng rng(seed);
+  std::vector<int> best;
+  int64_t best_cost = -1;
+  const int restarts = std::max(1, config.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<int> labels = PivotOnce(distance, config.threshold, rng);
+    LocalImprove(distance, config.threshold, config.improvement_sweeps,
+                 labels);
+    const int64_t cost =
+        CorrelationDisagreements(distance, config.threshold, labels);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best = std::move(labels);
+    }
+  }
+  Compact(best);
+  return best;
+}
+
+}  // namespace crew

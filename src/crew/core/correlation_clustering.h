@@ -1,0 +1,44 @@
+#ifndef CREW_CORE_CORRELATION_CLUSTERING_H_
+#define CREW_CORE_CORRELATION_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crew/la/matrix.h"
+
+namespace crew {
+
+struct CorrelationClusteringConfig {
+  /// Distances below this are positive ("same cluster") evidence, above it
+  /// negative. CREW distances live in [0, 1].
+  double threshold = 0.45;
+  /// Randomized pivot restarts; the labeling with the fewest violated
+  /// edges wins.
+  int restarts = 8;
+  /// Local-improvement sweeps after pivoting (move single items to the
+  /// neighbouring cluster that reduces disagreements).
+  int improvement_sweeps = 2;
+};
+
+/// Correlation clustering via CC-Pivot (Ailon, Charikar, Newman 2008) with
+/// restarts and a local-search polish.
+///
+/// Unlike agglomerative clustering it needs no K: the signed graph decides
+/// how many clusters exist. This is the clustering family the CREW
+/// authors' earlier work used for grouping synonymous attributes, included
+/// as an alternative backend for CREW's stage 3.
+///
+/// Returns dense labels in [0, k); deterministic given `seed`.
+std::vector<int> CorrelationCluster(const la::Matrix& distance,
+                                    const CorrelationClusteringConfig& config,
+                                    uint64_t seed);
+
+/// Number of signed-edge disagreements of `labels` under `distance` /
+/// `threshold`: positive edges cut + negative edges kept. The objective
+/// CorrelationCluster minimizes; exposed for tests and diagnostics.
+int64_t CorrelationDisagreements(const la::Matrix& distance, double threshold,
+                                 const std::vector<int>& labels);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_CORRELATION_CLUSTERING_H_

@@ -1,0 +1,66 @@
+#include "crew/core/counterfactual.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+Counterfactual GenerateCounterfactual(
+    const Matcher& matcher, const PairTokenView& view,
+    const std::vector<ExplanationUnit>& units, double base_score) {
+  Counterfactual out;
+  out.original_score = base_score;
+  if (units.empty()) return out;
+
+  const double threshold = matcher.threshold();
+  const bool predicted_match = base_score >= threshold;
+
+  // Units ranked by support for the predicted class.
+  std::vector<int> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return predicted_match ? units[a].weight > units[b].weight
+                           : units[a].weight < units[b].weight;
+  });
+
+  std::vector<bool> keep(view.size(), true);
+  for (int u : order) {
+    out.removed_units.push_back(u);
+    for (int i : units[u].member_indices) {
+      keep[i] = false;
+      out.removed_words.push_back(view.token(i).text);
+    }
+    const RecordPair candidate = view.Materialize(keep);
+    const double score = matcher.PredictProba(candidate);
+    if ((score >= threshold) != predicted_match) {
+      out.found = true;
+      out.flipped_pair = candidate;
+      out.flipped_score = score;
+      return out;
+    }
+  }
+  // No flip reachable; reset the edit trail so callers don't mistake the
+  // exhausted attempt for a counterfactual.
+  out.removed_units.clear();
+  out.removed_words.clear();
+  return out;
+}
+
+std::string DescribeCounterfactual(const Counterfactual& counterfactual,
+                                   double threshold) {
+  if (!counterfactual.found) {
+    return "no counterfactual reachable by deleting explanation units";
+  }
+  const bool was_match = counterfactual.original_score >= threshold;
+  std::string out = StrPrintf(
+      "prediction flips %s -> %s (%.3f -> %.3f) if %d unit(s) were absent: ",
+      was_match ? "MATCH" : "NON-MATCH", was_match ? "NON-MATCH" : "MATCH",
+      counterfactual.original_score, counterfactual.flipped_score,
+      static_cast<int>(counterfactual.removed_units.size()));
+  out += Join(counterfactual.removed_words, ", ");
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,44 @@
+#ifndef CREW_CORE_COUNTERFACTUAL_H_
+#define CREW_CORE_COUNTERFACTUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/explain/token_view.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// A concrete "what would have to change" answer: the smallest prefix of
+/// explanation units whose removal flips the prediction, materialized as
+/// an edited record pair.
+struct Counterfactual {
+  bool found = false;
+  /// The edited pair with the flipped prediction (valid when `found`).
+  RecordPair flipped_pair;
+  double original_score = 0.0;
+  double flipped_score = 0.0;
+  /// Indices (into `units`) of the removed units, in removal order.
+  std::vector<int> removed_units;
+  /// Texts of the removed words, for display.
+  std::vector<std::string> removed_words;
+};
+
+/// Greedily removes units in support order (the same order the
+/// faithfulness metrics use) until the prediction crosses the matcher's
+/// threshold. `units` is any unit decomposition — CREW clusters give the
+/// most compact counterfactuals (see bench_f6).
+Counterfactual GenerateCounterfactual(const Matcher& matcher,
+                                      const PairTokenView& view,
+                                      const std::vector<ExplanationUnit>& units,
+                                      double base_score);
+
+/// Renders "the pair would be classified MATCH/NON-MATCH if these words
+/// were absent: ..." for CLI display.
+std::string DescribeCounterfactual(const Counterfactual& counterfactual,
+                                   double threshold);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_COUNTERFACTUAL_H_

@@ -1,0 +1,131 @@
+#include "crew/core/crew_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crew/common/timer.h"
+#include "crew/core/silhouette.h"
+
+namespace crew {
+
+CrewExplainer::CrewExplainer(std::shared_ptr<const EmbeddingStore> embeddings,
+                             CrewConfig config)
+    : embeddings_(std::move(embeddings)), config_(config),
+      importance_explainer_(config.importance) {}
+
+Result<ClusterExplanation> CrewExplainer::ExplainClusters(
+    const Matcher& matcher, const RecordPair& pair, uint64_t seed) const {
+  WallTimer timer;
+  ClusterExplanation out;
+
+  // Stage 1: word importances.
+  auto words = importance_explainer_.Explain(matcher, pair, seed);
+  if (!words.ok()) return words.status();
+  out.words = std::move(words.value());
+  const int n = static_cast<int>(out.words.attributions.size());
+  if (n == 0) {
+    out.runtime_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  // Stage 2: combined word distance from the three knowledge sources.
+  const la::Matrix distance = BuildWordDistanceMatrix(
+      out.words.attributions, embeddings_.get(), config_.affinity);
+
+  // Stage 3: clustering.
+  std::vector<int> labels;
+  int k = 0;
+  if (config_.backend == CrewConfig::Backend::kCorrelation) {
+    labels = CorrelationCluster(distance, config_.correlation, seed);
+    for (int l : labels) k = std::max(k, l + 1);
+  } else {
+    const Dendrogram dendrogram =
+        AgglomerativeCluster(distance, config_.linkage);
+    k = std::min(config_.max_clusters, n);
+    if (config_.auto_k && n > 2) {
+      k = ChooseKBySilhouette(distance, dendrogram, config_.min_clusters,
+                              std::min(config_.max_clusters, n));
+    }
+    k = std::max(1, std::min(k, n));
+    labels = dendrogram.CutToClusters(k);
+  }
+  out.chosen_k = k;
+  out.silhouette = MeanSilhouette(distance, labels);
+
+  // Gather members.
+  std::vector<std::vector<int>> members(k);
+  for (int i = 0; i < n; ++i) members[labels[i]].push_back(i);
+
+  // Stage 4: cluster scoring.
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  CREW_CHECK(view.size() == n);
+  out.units.reserve(k);
+  for (int c = 0; c < k; ++c) {
+    ExplanationUnit unit;
+    unit.member_indices = members[c];
+    double member_sum = 0.0;
+    for (int i : members[c]) member_sum += out.words.attributions[i].weight;
+    double weight = member_sum;
+    if (config_.rescore_clusters) {
+      std::vector<bool> keep(n, true);
+      for (int i : members[c]) keep[i] = false;
+      const double without =
+          matcher.PredictProba(view.Materialize(keep));
+      const double rescored = out.words.base_score - without;
+      // Symmetric deletion can be blind: removing a cluster that holds the
+      // matching tokens of BOTH records leaves set-similarity features
+      // (e.g. Jaccard of two emptied attributes) unchanged, so the probe
+      // reads exactly zero even though the words carry all the evidence.
+      // Fall back to the word-importance sum in that degenerate case.
+      weight = std::fabs(rescored) > 1e-9 ? rescored : member_sum;
+    }
+    unit.weight = weight;
+    unit.label = MakeUnitLabel(out.words, members[c]);
+    out.units.push_back(std::move(unit));
+  }
+  std::sort(out.units.begin(), out.units.end(),
+            [](const ExplanationUnit& a, const ExplanationUnit& b) {
+              return std::fabs(a.weight) > std::fabs(b.weight);
+            });
+
+  // Comprehensibility signal: mean within-cluster embedding similarity.
+  if (embeddings_ != nullptr) {
+    double sim_sum = 0.0;
+    int sim_count = 0;
+    for (const auto& unit : out.units) {
+      for (size_t x = 0; x < unit.member_indices.size(); ++x) {
+        for (size_t y = x + 1; y < unit.member_indices.size(); ++y) {
+          sim_sum += embeddings_->Similarity(
+              out.words.attributions[unit.member_indices[x]].token.text,
+              out.words.attributions[unit.member_indices[y]].token.text);
+          ++sim_count;
+        }
+      }
+    }
+    out.coherence = sim_count > 0 ? sim_sum / sim_count : 0.0;
+  }
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+Result<WordExplanation> CrewExplainer::Explain(const Matcher& matcher,
+                                               const RecordPair& pair,
+                                               uint64_t seed) const {
+  auto clusters = ExplainClusters(matcher, pair, seed);
+  if (!clusters.ok()) return clusters.status();
+  WordExplanation out = clusters.value().words;
+  // Word weights at cluster granularity: every member inherits the
+  // cluster's (re-scored) weight, spread uniformly.
+  for (const auto& unit : clusters.value().units) {
+    const double share =
+        unit.weight / static_cast<double>(unit.member_indices.size());
+    for (int i : unit.member_indices) {
+      out.attributions[i].weight = share;
+    }
+  }
+  out.runtime_ms = clusters.value().runtime_ms;
+  return out;
+}
+
+}  // namespace crew

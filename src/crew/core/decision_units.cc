@@ -1,0 +1,160 @@
+#include "crew/core/decision_units.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crew/common/timer.h"
+#include "crew/la/ridge.h"
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+
+std::vector<DecisionUnit> BuildDecisionUnits(
+    const PairTokenView& view, const EmbeddingStore* embeddings,
+    const DecisionUnitConfig& config) {
+  const std::vector<int> left = view.IndicesOnSide(Side::kLeft);
+  const std::vector<int> right = view.IndicesOnSide(Side::kRight);
+
+  // Score all cross-record candidate pairings.
+  struct Candidate {
+    double similarity;
+    int l, r;
+  };
+  std::vector<Candidate> candidates;
+  for (int l : left) {
+    for (int r : right) {
+      const TokenRef& tl = view.token(l);
+      const TokenRef& tr = view.token(r);
+      double sim = tl.text == tr.text
+                       ? 1.0
+                       : JaroWinklerSimilarity(tl.text, tr.text);
+      if (config.use_embeddings && embeddings != nullptr &&
+          tl.text != tr.text) {
+        sim = std::max(sim, embeddings->Similarity(tl.text, tr.text));
+      }
+      // Same-attribute pairings win ties: EM schemas align columns.
+      if (tl.attribute == tr.attribute) sim += 1e-6;
+      if (sim >= config.pairing_threshold) {
+        candidates.push_back({sim, l, r});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              if (a.l != b.l) return a.l < b.l;
+              return a.r < b.r;
+            });
+
+  std::vector<bool> used(view.size(), false);
+  std::vector<DecisionUnit> units;
+  for (const Candidate& c : candidates) {
+    if (used[c.l] || used[c.r]) continue;
+    used[c.l] = used[c.r] = true;
+    DecisionUnit unit;
+    unit.left_token = c.l;
+    unit.right_token = c.r;
+    unit.similarity = std::min(1.0, c.similarity);
+    units.push_back(unit);
+  }
+  for (int i = 0; i < view.size(); ++i) {
+    if (used[i]) continue;
+    DecisionUnit unit;
+    if (view.token(i).side == Side::kLeft) {
+      unit.left_token = i;
+    } else {
+      unit.right_token = i;
+    }
+    units.push_back(unit);
+  }
+  return units;
+}
+
+Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
+DecisionUnitExplainer::ExplainUnits(const Matcher& matcher,
+                                    const RecordPair& pair,
+                                    uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  WordExplanation words;
+  words.base_score = matcher.PredictProba(pair);
+  for (int i = 0; i < view.size(); ++i) {
+    words.attributions.push_back({view.token(i), 0.0});
+  }
+  std::vector<ExplanationUnit> units;
+  if (view.size() == 0) {
+    words.runtime_ms = timer.ElapsedMillis();
+    return std::make_pair(std::move(words), std::move(units));
+  }
+
+  const std::vector<DecisionUnit> decision_units =
+      BuildDecisionUnits(view, embeddings_.get(), config_);
+  const int u_count = static_cast<int>(decision_units.size());
+
+  // Unit-level drop perturbations.
+  Rng rng(seed);
+  const int n = std::max(8, config_.perturbation.num_samples);
+  la::Matrix x(n, u_count);
+  la::Vec y(n), w(n);
+  std::vector<int> pool(u_count);
+  for (int i = 0; i < u_count; ++i) pool[i] = i;
+  for (int s = 0; s < n; ++s) {
+    std::vector<bool> keep(view.size(), true);
+    const int n_remove = 1 + rng.UniformInt(u_count);
+    for (int i = 0; i < n_remove; ++i) {
+      const int j = i + rng.UniformInt(u_count - i);
+      std::swap(pool[i], pool[j]);
+      const DecisionUnit& unit = decision_units[pool[i]];
+      if (unit.left_token >= 0) keep[unit.left_token] = false;
+      if (unit.right_token >= 0) keep[unit.right_token] = false;
+    }
+    for (int u = 0; u < u_count; ++u) {
+      const DecisionUnit& unit = decision_units[u];
+      const int probe = unit.left_token >= 0 ? unit.left_token
+                                             : unit.right_token;
+      x.At(s, u) = keep[probe] ? 1.0 : 0.0;
+    }
+    const double removed_fraction =
+        static_cast<double>(n_remove) / static_cast<double>(u_count);
+    const double kw = config_.perturbation.kernel_width;
+    w[s] = std::exp(-(removed_fraction * removed_fraction) / (kw * kw));
+    y[s] = matcher.PredictProba(view.Materialize(keep));
+  }
+  la::RidgeModel model;
+  CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
+  words.surrogate_r2 = model.r2;
+
+  units.reserve(u_count);
+  for (int u = 0; u < u_count; ++u) {
+    const DecisionUnit& du = decision_units[u];
+    ExplanationUnit unit;
+    unit.weight = model.coefficients[u];
+    if (du.left_token >= 0) unit.member_indices.push_back(du.left_token);
+    if (du.right_token >= 0) unit.member_indices.push_back(du.right_token);
+    for (int i : unit.member_indices) {
+      words.attributions[i].weight =
+          unit.weight / static_cast<double>(du.IsPaired() ? 2 : 1);
+    }
+    unit.label = MakeUnitLabel(words, unit.member_indices, 2);
+    if (du.IsPaired()) unit.label += " (paired)";
+    units.push_back(std::move(unit));
+  }
+  std::sort(units.begin(), units.end(),
+            [](const ExplanationUnit& a, const ExplanationUnit& b) {
+              return std::fabs(a.weight) > std::fabs(b.weight);
+            });
+  words.runtime_ms = timer.ElapsedMillis();
+  return std::make_pair(std::move(words), std::move(units));
+}
+
+Result<WordExplanation> DecisionUnitExplainer::Explain(
+    const Matcher& matcher, const RecordPair& pair, uint64_t seed) const {
+  auto result = ExplainUnits(matcher, pair, seed);
+  if (!result.ok()) return result.status();
+  return std::move(result.value().first);
+}
+
+}  // namespace crew

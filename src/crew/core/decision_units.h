@@ -1,0 +1,73 @@
+#ifndef CREW_CORE_DECISION_UNITS_H_
+#define CREW_CORE_DECISION_UNITS_H_
+
+#include <memory>
+#include <vector>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/embed/embedding_store.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+/// A WYM-style decision unit (Baraldi et al. 2023): either a *paired* unit
+/// — two similar tokens, one from each record — or an *unpaired* token
+/// existing on one side only. Decision units are the authors' earlier
+/// answer to the same verbosity problem CREW addresses; implemented here
+/// as the natural ablation point between word-level and cluster-level
+/// explanations.
+struct DecisionUnit {
+  int left_token = -1;   ///< index into the pair's token view, or -1
+  int right_token = -1;  ///< index into the pair's token view, or -1
+  double similarity = 0.0;  ///< pairing similarity (1.0 for exact)
+
+  bool IsPaired() const { return left_token >= 0 && right_token >= 0; }
+};
+
+struct DecisionUnitConfig {
+  /// Minimum similarity for two cross-record tokens to form a paired unit.
+  double pairing_threshold = 0.75;
+  /// Use embedding cosine in addition to string similarity when available.
+  bool use_embeddings = true;
+  PerturbationConfig perturbation;
+  double ridge_lambda = 1.0;
+};
+
+/// Greedy best-first pairing of left and right tokens (same attribute
+/// preferred) by max(Jaro-Winkler, embedding cosine). Every token belongs
+/// to exactly one unit.
+std::vector<DecisionUnit> BuildDecisionUnits(
+    const PairTokenView& view, const EmbeddingStore* embeddings,
+    const DecisionUnitConfig& config);
+
+/// Explainer that perturbs at decision-unit granularity: a sample drops
+/// whole units (both members of a paired unit vanish together); a ridge
+/// surrogate assigns one weight per unit. Exposed through the common
+/// word-level interface (members share the unit weight) and through
+/// `ExplainUnits` for unit-level evaluation.
+class DecisionUnitExplainer : public Explainer {
+ public:
+  DecisionUnitExplainer(std::shared_ptr<const EmbeddingStore> embeddings,
+                        DecisionUnitConfig config = DecisionUnitConfig())
+      : embeddings_(std::move(embeddings)), config_(config) {}
+
+  /// Unit-level explanation: returns the word attributions plus one
+  /// ExplanationUnit per decision unit.
+  Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
+  ExplainUnits(const Matcher& matcher, const RecordPair& pair,
+               uint64_t seed) const;
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "wym"; }
+
+ private:
+  std::shared_ptr<const EmbeddingStore> embeddings_;
+  DecisionUnitConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_CORE_DECISION_UNITS_H_

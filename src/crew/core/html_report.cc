@@ -1,0 +1,118 @@
+#include "crew/core/html_report.h"
+
+#include <cmath>
+#include <vector>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+namespace {
+
+// Color-blind-friendly categorical palette (Okabe-Ito), cycled per cluster.
+constexpr const char* kPalette[] = {"#E69F00", "#56B4E9", "#009E73",
+                                    "#F0E442", "#0072B2", "#D55E00",
+                                    "#CC79A7", "#999999"};
+constexpr int kPaletteSize = 8;
+
+}  // namespace
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderExplanationHtml(const Schema& schema,
+                                  const RecordPair& pair,
+                                  const ClusterExplanation& explanation,
+                                  const std::string& title) {
+  // word index -> cluster index (ranked order) lookup.
+  const int n = static_cast<int>(explanation.words.attributions.size());
+  std::vector<int> cluster_of(n, -1);
+  for (size_t u = 0; u < explanation.units.size(); ++u) {
+    for (int i : explanation.units[u].member_indices) {
+      if (i >= 0 && i < n) cluster_of[i] = static_cast<int>(u);
+    }
+  }
+
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>" +
+      HtmlEscape(title) + "</title>\n<style>\n"
+      "body{font-family:sans-serif;margin:2em;max-width:60em}\n"
+      ".tok{padding:1px 4px;margin:1px;border-radius:4px;display:inline-block}\n"
+      ".rec{margin:0.4em 0;padding:0.6em;background:#f6f6f6;border-radius:6px}\n"
+      ".attr{color:#666;font-size:85%;margin-right:0.4em}\n"
+      ".legend td{padding:2px 10px}\n"
+      "</style></head><body>\n";
+  html += "<h2>" + HtmlEscape(title) + "</h2>\n";
+  html += StrPrintf("<p>P(match) = <b>%.3f</b> &mdash; %d clusters "
+                    "(silhouette %.2f, coherence %.2f)</p>\n",
+                    explanation.base_score(),
+                    static_cast<int>(explanation.units.size()),
+                    explanation.silhouette, explanation.coherence);
+
+  // Records with colour-coded tokens (walk the word attributions, which
+  // carry provenance, grouped per side/attribute in view order).
+  for (Side side : {Side::kLeft, Side::kRight}) {
+    html += "<div class=\"rec\"><b>";
+    html += side == Side::kLeft ? "left" : "right";
+    html += "</b><br>\n";
+    int last_attr = -1;
+    for (int i = 0; i < n; ++i) {
+      const auto& a = explanation.words.attributions[i];
+      if (a.token.side != side) continue;
+      if (a.token.attribute != last_attr) {
+        if (last_attr >= 0) html += "<br>\n";
+        last_attr = a.token.attribute;
+        const std::string attr_name =
+            a.token.attribute < schema.size()
+                ? schema.name(a.token.attribute)
+                : "attr" + std::to_string(a.token.attribute);
+        html += "<span class=\"attr\">" + HtmlEscape(attr_name) + ":</span>";
+      }
+      const int c = cluster_of[i];
+      const char* color = c >= 0 ? kPalette[c % kPaletteSize] : "#ffffff";
+      html += StrPrintf(
+          "<span class=\"tok\" style=\"background:%s\" title=\"cluster %d, "
+          "w=%+.4f\">%s</span>",
+          color, c, a.weight, HtmlEscape(a.token.text).c_str());
+    }
+    html += "</div>\n";
+  }
+  // Ignore `pair` content beyond what the attributions carry; it is passed
+  // so future renderers can show raw values, and to keep the signature
+  // stable.
+  (void)pair;
+
+  html += "<h3>Clusters</h3>\n<table class=\"legend\">\n";
+  for (size_t u = 0; u < explanation.units.size(); ++u) {
+    html += StrPrintf(
+        "<tr><td><span class=\"tok\" style=\"background:%s\">&nbsp;&nbsp;"
+        "</span></td><td>%+.4f</td><td>%s</td><td>%d words</td></tr>\n",
+        kPalette[u % kPaletteSize], explanation.units[u].weight,
+        HtmlEscape(explanation.units[u].label).c_str(),
+        static_cast<int>(explanation.units[u].member_indices.size()));
+  }
+  html += "</table>\n</body></html>\n";
+  return html;
+}
+
+}  // namespace crew

@@ -1,0 +1,25 @@
+#ifndef CREW_CORE_HTML_REPORT_H_
+#define CREW_CORE_HTML_REPORT_H_
+
+#include <string>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/data/schema.h"
+
+namespace crew {
+
+/// Renders a self-contained HTML document visualizing one CREW explanation:
+/// the two records with every token colour-coded by its cluster, plus a
+/// legend listing the clusters with their weights. No external assets —
+/// open the file in any browser. The artifact a reviewer actually looks at.
+std::string RenderExplanationHtml(const Schema& schema,
+                                  const RecordPair& pair,
+                                  const ClusterExplanation& explanation,
+                                  const std::string& title = "CREW explanation");
+
+/// HTML-escapes `<`, `>`, `&`, `"`.
+std::string HtmlEscape(const std::string& s);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_HTML_REPORT_H_

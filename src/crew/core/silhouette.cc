@@ -1,0 +1,61 @@
+#include "crew/core/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+double MeanSilhouette(const la::Matrix& distance,
+                      const std::vector<int>& labels) {
+  const int n = static_cast<int>(labels.size());
+  CREW_CHECK(distance.rows() == n && distance.cols() == n);
+  if (n < 2) return 0.0;
+  int k = 0;
+  for (int l : labels) k = std::max(k, l + 1);
+  if (k < 2) return 0.0;
+
+  std::vector<int> cluster_size(k, 0);
+  for (int l : labels) ++cluster_size[l];
+
+  double total = 0.0;
+  std::vector<double> sum_to_cluster(k);
+  for (int i = 0; i < n; ++i) {
+    if (cluster_size[labels[i]] <= 1) continue;  // singleton -> 0
+    std::fill(sum_to_cluster.begin(), sum_to_cluster.end(), 0.0);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) sum_to_cluster[labels[j]] += distance.At(i, j);
+    }
+    const double a = sum_to_cluster[labels[i]] /
+                     static_cast<double>(cluster_size[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == labels[i] || cluster_size[c] == 0) continue;
+      b = std::min(b, sum_to_cluster[c] / static_cast<double>(cluster_size[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+int ChooseKBySilhouette(const la::Matrix& distance,
+                        const Dendrogram& dendrogram, int min_k, int max_k) {
+  min_k = std::max(2, min_k);
+  max_k = std::min(max_k, dendrogram.n);
+  if (max_k < min_k) return std::max(1, std::min(min_k, dendrogram.n));
+  int best_k = min_k;
+  double best_score = -2.0;
+  for (int k = min_k; k <= max_k; ++k) {
+    const double score =
+        MeanSilhouette(distance, dendrogram.CutToClusters(k));
+    if (score > best_score + 1e-12) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace crew

@@ -1,0 +1,25 @@
+#ifndef CREW_CORE_SILHOUETTE_H_
+#define CREW_CORE_SILHOUETTE_H_
+
+#include <vector>
+
+#include "crew/core/agglomerative.h"
+#include "crew/la/matrix.h"
+
+namespace crew {
+
+/// Mean silhouette coefficient of `labels` under `distance`. Items in
+/// singleton clusters contribute 0 (scikit-learn convention). Returns 0
+/// when there are fewer than 2 clusters or fewer than 2 items.
+double MeanSilhouette(const la::Matrix& distance,
+                      const std::vector<int>& labels);
+
+/// Picks the cut K in [min_k, max_k] maximizing the mean silhouette of the
+/// dendrogram's flat clustering; ties go to the *smaller* K (fewer units is
+/// more comprehensible). Returns min_k when the range is degenerate.
+int ChooseKBySilhouette(const la::Matrix& distance,
+                        const Dendrogram& dendrogram, int min_k, int max_k);
+
+}  // namespace crew
+
+#endif  // CREW_CORE_SILHOUETTE_H_

@@ -1,0 +1,34 @@
+#include "crew/data/benchmark_suite.h"
+
+namespace crew {
+
+std::vector<BenchmarkEntry> StandardBenchmark(uint64_t seed,
+                                              int matches_per_dataset,
+                                              int nonmatches_per_dataset) {
+  std::vector<BenchmarkEntry> out;
+  uint64_t i = 0;
+  for (Domain d : {Domain::kProducts, Domain::kBibliographic,
+                   Domain::kRestaurants}) {
+    for (Flavor f : {Flavor::kStructured, Flavor::kDirty, Flavor::kTextual}) {
+      GeneratorConfig config;
+      config.domain = d;
+      config.flavor = f;
+      config.num_matches = matches_per_dataset;
+      config.num_nonmatches = nonmatches_per_dataset;
+      // Distinct derived seed per dataset keeps them independent.
+      config.seed = seed * 1000003ULL + i++;
+      out.push_back({config, config.Name()});
+    }
+  }
+  return out;
+}
+
+Result<Dataset> GenerateByName(const std::string& name, uint64_t seed,
+                               int matches, int nonmatches) {
+  for (auto& entry : StandardBenchmark(seed, matches, nonmatches)) {
+    if (entry.name == name) return GenerateDataset(entry.config);
+  }
+  return Status::NotFound("unknown benchmark dataset: " + name);
+}
+
+}  // namespace crew

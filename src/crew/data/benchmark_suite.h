@@ -1,0 +1,31 @@
+#ifndef CREW_DATA_BENCHMARK_SUITE_H_
+#define CREW_DATA_BENCHMARK_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/data/generator.h"
+
+namespace crew {
+
+/// One entry of the standard 9-dataset benchmark (3 domains x 3 flavours).
+struct BenchmarkEntry {
+  GeneratorConfig config;
+  std::string name;  ///< e.g. "products-structured"
+};
+
+/// The canonical benchmark grid used by every experiment binary. Sizes are
+/// chosen so the whole suite trains + explains in minutes on one core while
+/// keeping the match/non-match balance of the Magellan datasets.
+std::vector<BenchmarkEntry> StandardBenchmark(uint64_t seed = 7,
+                                              int matches_per_dataset = 250,
+                                              int nonmatches_per_dataset = 350);
+
+/// Generates the dataset for a benchmark entry name ("products-dirty", ...).
+/// Returns NotFound for unknown names.
+Result<Dataset> GenerateByName(const std::string& name, uint64_t seed = 7,
+                               int matches = 250, int nonmatches = 350);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_BENCHMARK_SUITE_H_

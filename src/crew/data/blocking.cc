@@ -1,0 +1,100 @@
+#include "crew/data/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace crew {
+
+TablePair ToTables(const Dataset& dataset) {
+  TablePair tables;
+  tables.schema = dataset.schema();
+  tables.left.reserve(dataset.size());
+  tables.right.reserve(dataset.size());
+  for (int i = 0; i < dataset.size(); ++i) {
+    tables.left.push_back(dataset.pair(i).left);
+    tables.right.push_back(dataset.pair(i).right);
+    if (dataset.pair(i).label == 1) {
+      tables.gold_matches.push_back({i, i});
+    }
+  }
+  return tables;
+}
+
+std::vector<std::pair<int, int>> TokenBlocker::GenerateCandidates(
+    const TablePair& tables) const {
+  // Distinct tokens per left record + document frequency.
+  const int nl = static_cast<int>(tables.left.size());
+  const int nr = static_cast<int>(tables.right.size());
+  std::unordered_map<std::string, std::vector<int>> left_index;
+  for (int i = 0; i < nl; ++i) {
+    std::unordered_set<std::string> seen;
+    for (const auto& value : tables.left[i].values) {
+      for (const auto& tok : tokenizer_.Tokenize(value)) {
+        if (seen.insert(tok).second) left_index[tok].push_back(i);
+      }
+    }
+  }
+  const int max_df = std::max(
+      1, static_cast<int>(config_.max_token_frequency * nl));
+
+  // Count shared discriminative tokens per (left, right) pair.
+  std::unordered_map<int64_t, int> shared;
+  for (int j = 0; j < nr; ++j) {
+    std::unordered_set<std::string> seen;
+    for (const auto& value : tables.right[j].values) {
+      for (const auto& tok : tokenizer_.Tokenize(value)) {
+        if (!seen.insert(tok).second) continue;
+        auto it = left_index.find(tok);
+        if (it == left_index.end()) continue;
+        if (static_cast<int>(it->second.size()) > max_df) continue;
+        for (int i : it->second) {
+          ++shared[(static_cast<int64_t>(i) << 32) | static_cast<uint32_t>(j)];
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<int, int>> candidates;
+  std::vector<std::pair<int, int64_t>> scored;  // (count, key)
+  for (const auto& [key, count] : shared) {
+    if (count >= config_.min_shared_tokens) scored.push_back({count, key});
+  }
+  if (config_.max_candidates > 0 &&
+      static_cast<int>(scored.size()) > config_.max_candidates) {
+    std::partial_sort(
+        scored.begin(), scored.begin() + config_.max_candidates, scored.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    scored.resize(config_.max_candidates);
+  }
+  candidates.reserve(scored.size());
+  for (const auto& [count, key] : scored) {
+    candidates.push_back({static_cast<int>(key >> 32),
+                          static_cast<int>(key & 0xffffffff)});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+BlockingMetrics EvaluateBlocking(
+    const TablePair& tables,
+    const std::vector<std::pair<int, int>>& candidates) {
+  BlockingMetrics m;
+  m.candidates = static_cast<int>(candidates.size());
+  m.gold_matches = static_cast<int>(tables.gold_matches.size());
+  std::unordered_set<int64_t> candidate_set;
+  candidate_set.reserve(candidates.size());
+  for (const auto& [i, j] : candidates) {
+    candidate_set.insert((static_cast<int64_t>(i) << 32) |
+                         static_cast<uint32_t>(j));
+  }
+  for (const auto& [i, j] : tables.gold_matches) {
+    if (candidate_set.count((static_cast<int64_t>(i) << 32) |
+                            static_cast<uint32_t>(j)) > 0) {
+      ++m.gold_covered;
+    }
+  }
+  return m;
+}
+
+}  // namespace crew

@@ -1,0 +1,80 @@
+#ifndef CREW_DATA_BLOCKING_H_
+#define CREW_DATA_BLOCKING_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/data/dataset.h"
+#include "crew/text/tokenizer.h"
+
+namespace crew {
+
+/// Two-table view of an EM task: the classic setting where a candidate
+/// generator (blocker) proposes pairs before the matcher scores them.
+struct TablePair {
+  Schema schema;
+  std::vector<Record> left;
+  std::vector<Record> right;
+  /// Gold matches as (left index, right index).
+  std::vector<std::pair<int, int>> gold_matches;
+};
+
+/// Splits a pair dataset into its two record tables, preserving gold
+/// matches (pair i becomes left[i] / right[i]).
+TablePair ToTables(const Dataset& dataset);
+
+struct BlockingConfig {
+  /// Candidate pairs must share at least this many distinct tokens.
+  int min_shared_tokens = 2;
+  /// Tokens occurring in more than this fraction of left records are too
+  /// common to block on (stop tokens).
+  double max_token_frequency = 0.2;
+  /// Hard cap on emitted candidates (0 = unlimited); highest-overlap pairs
+  /// are kept.
+  int max_candidates = 0;
+};
+
+/// Token inverted-index blocker: proposes (left, right) candidates that
+/// share enough discriminative tokens. The standard cheap blocker EM
+/// pipelines run before matching; included so the repository covers the
+/// full EM stack the explainers sit on.
+class TokenBlocker {
+ public:
+  explicit TokenBlocker(BlockingConfig config = BlockingConfig())
+      : config_(config) {}
+
+  /// Returns candidate (left index, right index) pairs.
+  std::vector<std::pair<int, int>> GenerateCandidates(
+      const TablePair& tables) const;
+
+ private:
+  BlockingConfig config_;
+  Tokenizer tokenizer_;
+};
+
+/// Blocking quality: how many gold matches survive (pair completeness) at
+/// what candidate-set reduction (reduction ratio vs the full cross
+/// product).
+struct BlockingMetrics {
+  int candidates = 0;
+  int gold_matches = 0;
+  int gold_covered = 0;
+  double PairCompleteness() const {
+    return gold_matches > 0
+               ? static_cast<double>(gold_covered) / gold_matches
+               : 1.0;
+  }
+  double ReductionRatio(int left_size, int right_size) const {
+    const double cross =
+        static_cast<double>(left_size) * static_cast<double>(right_size);
+    return cross > 0.0 ? 1.0 - candidates / cross : 0.0;
+  }
+};
+
+BlockingMetrics EvaluateBlocking(
+    const TablePair& tables,
+    const std::vector<std::pair<int, int>>& candidates);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_BLOCKING_H_

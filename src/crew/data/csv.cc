@@ -1,0 +1,197 @@
+#include "crew/data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_started) {
+          return Status::InvalidArgument(
+              "CSV: quote inside unquoted field near offset " +
+              std::to_string(i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        if (i + 1 < n && text[i + 1] == '\n') ++i;
+        end_row();
+        ++i;
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  // Flush the final row when the file does not end in a newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Dataset> LoadDatasetCsv(std::string_view csv_text) {
+  auto rows_or = ParseCsv(csv_text);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty()) return Status::InvalidArgument("dataset CSV: empty file");
+  const auto& header = rows[0];
+  if (header.size() < 3 || header[0] != "label" || header.size() % 2 == 0) {
+    return Status::InvalidArgument(
+        "dataset CSV: header must be label,left_*...,right_*...");
+  }
+  const int k = static_cast<int>(header.size() - 1) / 2;
+  Schema schema;
+  for (int a = 0; a < k; ++a) {
+    const std::string& lname = header[1 + a];
+    const std::string& rname = header[1 + k + a];
+    if (!StartsWith(lname, "left_") || !StartsWith(rname, "right_") ||
+        lname.substr(5) != rname.substr(6)) {
+      return Status::InvalidArgument(
+          "dataset CSV: header column mismatch at attribute " +
+          std::to_string(a));
+    }
+    schema.AddAttribute(lname.substr(5), AttributeType::kText);
+  }
+  Dataset dataset(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("dataset CSV: row " + std::to_string(r) +
+                                     " has wrong field count");
+    }
+    RecordPair pair;
+    int label = -1;
+    if (!ParseInt(row[0], &label) || (label != 0 && label != 1)) {
+      return Status::InvalidArgument("dataset CSV: bad label in row " +
+                                     std::to_string(r));
+    }
+    pair.label = label;
+    for (int a = 0; a < k; ++a) {
+      pair.left.values.push_back(row[1 + a]);
+      pair.right.values.push_back(row[1 + k + a]);
+    }
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadDatasetCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadDatasetCsv(buf.str());
+}
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"label"};
+  for (int a = 0; a < dataset.schema().size(); ++a) {
+    header.push_back("left_" + dataset.schema().name(a));
+  }
+  for (int a = 0; a < dataset.schema().size(); ++a) {
+    header.push_back("right_" + dataset.schema().name(a));
+  }
+  rows.push_back(std::move(header));
+  for (const auto& p : dataset.pairs()) {
+    std::vector<std::string> row = {std::to_string(p.label)};
+    for (const auto& v : p.left.values) row.push_back(v);
+    for (const auto& v : p.right.values) row.push_back(v);
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveDatasetCsvFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << DatasetToCsv(dataset);
+  return out.good() ? Status::Ok() : Status::DataLoss("short write: " + path);
+}
+
+}  // namespace crew

@@ -1,0 +1,42 @@
+#ifndef CREW_DATA_CSV_H_
+#define CREW_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crew/common/status.h"
+#include "crew/data/dataset.h"
+
+namespace crew {
+
+/// Parses one RFC-4180 CSV document: fields may be quoted with `"`,
+/// embedded quotes doubled, embedded commas/newlines allowed inside quotes.
+/// Returns rows of fields. CRLF and LF line endings both accepted.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Serializes rows to CSV, quoting only when needed.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Escapes a single CSV field.
+std::string CsvEscape(std::string_view field);
+
+/// Dataset file format (DeepMatcher-style "merged" layout):
+///   header: label,left_<a1>,...,left_<ak>,right_<a1>,...,right_<ak>
+///   rows:   1 or 0, then the 2k values.
+/// Attribute types are inferred as kText (callers can rebuild the schema if
+/// they know better).
+Result<Dataset> LoadDatasetCsv(std::string_view csv_text);
+
+/// Reads `path` and parses it with LoadDatasetCsv.
+Result<Dataset> LoadDatasetCsvFile(const std::string& path);
+
+/// Serializes `dataset` in the layout above.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Writes DatasetToCsv(dataset) to `path`.
+Status SaveDatasetCsvFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_CSV_H_

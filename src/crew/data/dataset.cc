@@ -1,0 +1,84 @@
+#include "crew/data/dataset.h"
+
+#include "crew/common/logging.h"
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+
+int Dataset::MatchCount() const {
+  int n = 0;
+  for (const auto& p : pairs_) {
+    if (p.label == 1) ++n;
+  }
+  return n;
+}
+
+void Dataset::Split(double train_fraction, Rng& rng, Dataset* train,
+                    Dataset* test) const {
+  CREW_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  *train = Dataset(schema_);
+  *test = Dataset(schema_);
+  std::vector<int> match_idx, nonmatch_idx;
+  for (int i = 0; i < size(); ++i) {
+    (pairs_[i].label == 1 ? match_idx : nonmatch_idx).push_back(i);
+  }
+  auto assign = [&](std::vector<int>& idx) {
+    rng.Shuffle(idx);
+    const int n_train = static_cast<int>(train_fraction * idx.size() + 0.5);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      (static_cast<int>(k) < n_train ? train : test)->Add(pairs_[idx[k]]);
+    }
+  };
+  assign(match_idx);
+  assign(nonmatch_idx);
+}
+
+Vocabulary Dataset::BuildVocabulary(const Tokenizer& tokenizer) const {
+  Vocabulary vocab;
+  for (const auto& p : pairs_) {
+    for (Side s : {Side::kLeft, Side::kRight}) {
+      for (const auto& value : p.side(s).values) {
+        for (const auto& tok : tokenizer.Tokenize(value)) {
+          vocab.Add(tok);
+        }
+      }
+    }
+  }
+  return vocab;
+}
+
+DatasetStats ComputeStats(const Dataset& dataset, const Tokenizer& tokenizer) {
+  DatasetStats stats;
+  stats.pairs = dataset.size();
+  stats.matches = dataset.MatchCount();
+  stats.match_ratio =
+      stats.pairs > 0 ? static_cast<double>(stats.matches) / stats.pairs : 0.0;
+  stats.vocabulary_size = dataset.BuildVocabulary(tokenizer).size();
+
+  int64_t token_total = 0;
+  int record_total = 0;
+  double overlap_match = 0.0, overlap_nonmatch = 0.0;
+  int n_match = 0, n_nonmatch = 0;
+  for (const auto& p : dataset.pairs()) {
+    const auto left = FlattenTokens(tokenizer, dataset.schema(), p.left);
+    const auto right = FlattenTokens(tokenizer, dataset.schema(), p.right);
+    token_total += static_cast<int64_t>(left.size() + right.size());
+    record_total += 2;
+    const double jac = JaccardSimilarity(left, right);
+    if (p.label == 1) {
+      overlap_match += jac;
+      ++n_match;
+    } else if (p.label == 0) {
+      overlap_nonmatch += jac;
+      ++n_nonmatch;
+    }
+  }
+  stats.avg_tokens_per_record =
+      record_total > 0 ? static_cast<double>(token_total) / record_total : 0.0;
+  stats.avg_token_overlap_match = n_match > 0 ? overlap_match / n_match : 0.0;
+  stats.avg_token_overlap_nonmatch =
+      n_nonmatch > 0 ? overlap_nonmatch / n_nonmatch : 0.0;
+  return stats;
+}
+
+}  // namespace crew

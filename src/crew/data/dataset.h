@@ -1,0 +1,62 @@
+#ifndef CREW_DATA_DATASET_H_
+#define CREW_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crew/common/rng.h"
+#include "crew/data/record.h"
+#include "crew/data/schema.h"
+#include "crew/text/vocabulary.h"
+
+namespace crew {
+
+/// A labeled collection of candidate record pairs over one schema.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  void Add(RecordPair pair) { pairs_.push_back(std::move(pair)); }
+
+  int size() const { return static_cast<int>(pairs_.size()); }
+  bool empty() const { return pairs_.empty(); }
+  const RecordPair& pair(int i) const { return pairs_[i]; }
+  RecordPair& pair(int i) { return pairs_[i]; }
+  const std::vector<RecordPair>& pairs() const { return pairs_; }
+
+  /// Number of pairs with label == 1.
+  int MatchCount() const;
+
+  /// Stratified split: matches and non-matches are divided independently so
+  /// both halves keep the global match ratio. `train_fraction` in (0, 1).
+  void Split(double train_fraction, Rng& rng, Dataset* train,
+             Dataset* test) const;
+
+  /// Builds a token vocabulary over every attribute value of every record.
+  Vocabulary BuildVocabulary(const Tokenizer& tokenizer) const;
+
+ private:
+  Schema schema_;
+  std::vector<RecordPair> pairs_;
+};
+
+/// Summary statistics for T1-style dataset tables.
+struct DatasetStats {
+  int pairs = 0;
+  int matches = 0;
+  double match_ratio = 0.0;
+  int vocabulary_size = 0;
+  double avg_tokens_per_record = 0.0;
+  double avg_token_overlap_match = 0.0;     ///< mean Jaccard of matching pairs
+  double avg_token_overlap_nonmatch = 0.0;  ///< mean Jaccard of non-matches
+};
+
+DatasetStats ComputeStats(const Dataset& dataset, const Tokenizer& tokenizer);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_DATASET_H_

@@ -1,0 +1,607 @@
+#include "crew/data/generator.h"
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "crew/common/logging.h"
+#include "crew/common/string_util.h"
+
+namespace crew {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Word pools (all fictional).
+// ---------------------------------------------------------------------------
+
+constexpr std::array kBrands = {
+    "vortexa",  "lumenix",  "qorvex",   "zephyra",  "nimbatech", "aurelon",
+    "kryotek",  "solvance", "pixelmor", "gravix",   "omnicore",  "taliard",
+    "fenwick",  "ostrava",  "bluepine", "cedarway", "halcyon",   "mirelle",
+    "novastra", "quillon",  "rivetta",  "sylphide", "tundrix",   "verdanta"};
+
+struct ProductKind {
+  const char* noun;
+  const char* category;
+};
+constexpr std::array<ProductKind, 20> kProductKinds = {{
+    {"headphones", "audio"},     {"speaker", "audio"},
+    {"turntable", "audio"},      {"camera", "imaging"},
+    {"lens", "imaging"},         {"projector", "imaging"},
+    {"laptop", "computing"},     {"tablet", "computing"},
+    {"monitor", "computing"},    {"keyboard", "computing"},
+    {"router", "networking"},    {"switch", "networking"},
+    {"blender", "kitchen"},      {"toaster", "kitchen"},
+    {"espresso machine", "kitchen"}, {"vacuum", "home"},
+    {"humidifier", "home"},      {"thermostat", "home"},
+    {"drill", "tools"},          {"sander", "tools"},
+}};
+
+constexpr std::array kAdjectives = {
+    "wireless", "portable", "compact", "premium",  "ergonomic", "digital",
+    "smart",    "rugged",   "slim",    "foldable", "silent",    "rapid",
+    "modular",  "hybrid",   "precise", "durable",  "adaptive",  "classic"};
+
+constexpr std::array kFeatures = {
+    "noise cancelling", "bluetooth",      "fast charging", "touch display",
+    "voice control",    "water resistant","backlit keys",  "dual band",
+    "auto focus",       "image stabilization", "low latency", "long battery",
+    "usb c",            "hdmi output",    "quad core",     "solid state",
+    "anti slip",        "variable speed", "steam function", "hepa filter"};
+
+constexpr std::array kColors = {"black", "white", "silver", "graphite",
+                                "navy",  "red",   "olive",  "copper"};
+
+constexpr std::array kTopics = {
+    "entity",     "matching",    "neural",      "graph",      "query",
+    "indexing",   "transactional", "distributed", "streaming", "adaptive",
+    "learned",    "approximate", "federated",   "semantic",   "temporal",
+    "spatial",    "probabilistic", "scalable",  "incremental", "robust",
+    "explainable","interpretable", "clustering", "embedding", "retrieval",
+    "integration","deduplication", "provenance", "workload",  "optimization",
+    "sampling",   "sketching",   "caching",     "partitioning", "replication",
+    "consistency","compression", "benchmarking", "profiling", "annotation"};
+
+constexpr std::array kFirstNames = {
+    "alice", "bruno",  "carla",  "davide", "elena", "fabio", "greta",
+    "hugo",  "irene",  "jonas",  "katrin", "luca",  "marta", "nils",
+    "olivia","paolo",  "quinn",  "rosa",   "stefan","teresa"};
+
+constexpr std::array kLastNames = {
+    "albanese", "bergstrom", "caruso",   "dimitrov", "eriksen",  "ferrari",
+    "gallo",    "hoffmann",  "ivanova",  "jansen",   "keller",   "lombardi",
+    "moretti",  "novak",     "oliveira", "petrov",   "ricci",    "schneider",
+    "tanaka",   "ulrich",    "vasquez",  "weber",    "yamada",   "zanetti"};
+
+constexpr std::array kVenues = {
+    "symposium on data systems",      "conference on scalable databases",
+    "workshop on entity resolution",  "journal of data engineering",
+    "international forum on ai data", "transactions on information systems",
+    "conference on knowledge discovery", "workshop on explainable ml",
+    "symposium on web data",          "journal of intelligent systems",
+    "conference on data integration", "workshop on machine reasoning"};
+
+constexpr std::array kRestaurantHeads = {
+    "golden", "silver", "rustic", "urban",   "coastal", "royal",  "little",
+    "grand",  "happy",  "lucky",  "velvet",  "amber",   "jade",   "crimson",
+    "sunny",  "misty",  "wild",   "humble",  "roaring", "quiet"};
+
+constexpr std::array kRestaurantTails = {
+    "dragon", "olive",  "lantern", "harvest", "table",  "kettle", "garden",
+    "anchor", "bistro", "tavern",  "kitchen", "grill",  "oven",   "spoon",
+    "orchard","pantry", "hearth",  "terrace", "corner", "market"};
+
+constexpr std::array kStreets = {
+    "maple",   "oak",     "cedar",  "willow", "juniper", "birch",
+    "laurel",  "magnolia","aspen",  "chestnut", "sycamore", "poplar",
+    "hickory", "spruce",  "alder",  "hawthorn"};
+
+constexpr std::array kStreetSuffix = {"street", "avenue", "boulevard", "lane",
+                                      "road"};
+
+constexpr std::array kCities = {
+    "ashford",  "brookhaven", "clearwater", "dunmore",  "eastvale",
+    "fairmont", "glenwood",   "harborview", "ironridge", "juniper falls",
+    "kingsport","lakewood",   "midvale",    "northgate", "oakhurst",
+    "pinecrest"};
+
+constexpr std::array kCuisines = {
+    "italian", "japanese", "mexican",  "indian",   "thai",     "french",
+    "greek",   "korean",   "vietnamese", "spanish", "lebanese", "ethiopian"};
+
+// ---------------------------------------------------------------------------
+// Synonym tables.
+// ---------------------------------------------------------------------------
+
+SynonymTable MakeProductSynonyms() {
+  return SynonymTable{
+      {"wireless", {"cordless", "untethered"}},
+      {"portable", {"travel", "mobile"}},
+      {"compact", {"mini", "small"}},
+      {"premium", {"deluxe", "pro"}},
+      {"rapid", {"fast", "quick"}},
+      {"silent", {"quiet", "noiseless"}},
+      {"durable", {"sturdy", "rugged"}},
+      {"speaker", {"loudspeaker"}},
+      {"headphones", {"headset", "earphones"}},
+      {"laptop", {"notebook"}},
+      {"monitor", {"display", "screen"}},
+      {"vacuum", {"hoover"}},
+      {"black", {"onyx", "charcoal"}},
+      {"white", {"ivory", "pearl"}},
+      {"silver", {"chrome"}},
+  };
+}
+
+SynonymTable MakeBiblioSynonyms() {
+  return SynonymTable{
+      {"conference", {"conf", "proceedings of the conference"}},
+      {"symposium", {"symp"}},
+      {"workshop", {"wksp"}},
+      {"journal", {"trans"}},
+      {"international", {"intl"}},
+      {"neural", {"deep"}},
+      {"scalable", {"large scale"}},
+      {"approximate", {"approx"}},
+      {"optimization", {"tuning"}},
+  };
+}
+
+SynonymTable MakeRestaurantSynonyms() {
+  return SynonymTable{
+      {"street", {"st"}},
+      {"avenue", {"ave"}},
+      {"boulevard", {"blvd"}},
+      {"road", {"rd"}},
+      {"lane", {"ln"}},
+      {"restaurant", {"eatery", "diner"}},
+      {"kitchen", {"cucina"}},
+      {"grill", {"grille", "bbq"}},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Latent entities.
+// ---------------------------------------------------------------------------
+
+template <typename T, size_t N>
+const T& Pick(const std::array<T, N>& pool, Rng& rng) {
+  return pool[rng.UniformInt(static_cast<int>(N))];
+}
+
+struct ProductEntity {
+  int brand;
+  int kind;
+  std::string model;  // decisive token, e.g. "mx4821"
+  int adjective;
+  int color;
+  double price;
+  std::vector<int> features;  // indices into kFeatures
+
+  bool SameIdentity(const ProductEntity& o) const {
+    return brand == o.brand && kind == o.kind && model == o.model;
+  }
+};
+
+ProductEntity SampleProduct(Rng& rng) {
+  ProductEntity e;
+  e.brand = rng.UniformInt(static_cast<int>(kBrands.size()));
+  e.kind = rng.UniformInt(static_cast<int>(kProductKinds.size()));
+  const char* prefixes[] = {"mx", "sr", "ql", "vt", "ax", "zp"};
+  e.model = std::string(prefixes[rng.UniformInt(6)]) +
+            std::to_string(rng.UniformInt(100, 9899));
+  e.adjective = rng.UniformInt(static_cast<int>(kAdjectives.size()));
+  e.color = rng.UniformInt(static_cast<int>(kColors.size()));
+  e.price = rng.UniformInt(20, 1499) + 0.99;
+  const int nf = rng.UniformInt(2, 4);
+  for (int i = 0; i < nf; ++i) {
+    e.features.push_back(rng.UniformInt(static_cast<int>(kFeatures.size())));
+  }
+  return e;
+}
+
+// A hard negative shares brand + kind but differs in the decisive tokens.
+ProductEntity MutateProduct(const ProductEntity& src, Rng& rng) {
+  ProductEntity e = src;
+  e.model = std::string("mx") + std::to_string(rng.UniformInt(100, 9899));
+  while (e.model == src.model) {
+    e.model = std::string("mx") + std::to_string(rng.UniformInt(100, 9899));
+  }
+  e.price = rng.UniformInt(20, 1499) + 0.99;
+  e.color = rng.UniformInt(static_cast<int>(kColors.size()));
+  if (!e.features.empty()) {
+    e.features[0] = rng.UniformInt(static_cast<int>(kFeatures.size()));
+  }
+  return e;
+}
+
+struct BiblioEntity {
+  std::vector<int> title_words;  // indices into kTopics
+  std::vector<std::pair<int, int>> authors;  // (first, last)
+  int venue;
+  int year;
+
+  bool SameIdentity(const BiblioEntity& o) const {
+    return title_words == o.title_words && year == o.year;
+  }
+};
+
+BiblioEntity SampleBiblio(Rng& rng) {
+  BiblioEntity e;
+  const int n = rng.UniformInt(4, 7);
+  for (int i = 0; i < n; ++i) {
+    e.title_words.push_back(rng.UniformInt(static_cast<int>(kTopics.size())));
+  }
+  const int na = rng.UniformInt(1, 3);
+  for (int i = 0; i < na; ++i) {
+    e.authors.push_back({rng.UniformInt(static_cast<int>(kFirstNames.size())),
+                         rng.UniformInt(static_cast<int>(kLastNames.size()))});
+  }
+  e.venue = rng.UniformInt(static_cast<int>(kVenues.size()));
+  e.year = rng.UniformInt(1998, 2023);
+  return e;
+}
+
+BiblioEntity MutateBiblio(const BiblioEntity& src, Rng& rng) {
+  BiblioEntity e = src;
+  // Same venue + authors, different topic emphasis and year: the classic
+  // "same group, different paper" hard negative in DBLP-style data.
+  for (size_t i = 0; i < e.title_words.size(); i += 2) {
+    e.title_words[i] = rng.UniformInt(static_cast<int>(kTopics.size()));
+  }
+  e.year = rng.UniformInt(1998, 2023);
+  if (e.SameIdentity(src)) e.year = src.year == 1998 ? 1999 : src.year - 1;
+  return e;
+}
+
+struct RestaurantEntity {
+  int head, tail;        // name parts
+  int number;            // street number (decisive)
+  int street, suffix, city, cuisine;
+  std::string phone;
+
+  bool SameIdentity(const RestaurantEntity& o) const {
+    return head == o.head && tail == o.tail && number == o.number &&
+           street == o.street && city == o.city;
+  }
+};
+
+RestaurantEntity SampleRestaurant(Rng& rng) {
+  RestaurantEntity e;
+  e.head = rng.UniformInt(static_cast<int>(kRestaurantHeads.size()));
+  e.tail = rng.UniformInt(static_cast<int>(kRestaurantTails.size()));
+  e.number = rng.UniformInt(1, 999);
+  e.street = rng.UniformInt(static_cast<int>(kStreets.size()));
+  e.suffix = rng.UniformInt(static_cast<int>(kStreetSuffix.size()));
+  e.city = rng.UniformInt(static_cast<int>(kCities.size()));
+  e.cuisine = rng.UniformInt(static_cast<int>(kCuisines.size()));
+  e.phone = StrPrintf("%03d %03d %04d", rng.UniformInt(200, 989),
+                      rng.UniformInt(100, 999), rng.UniformInt(0, 9999));
+  return e;
+}
+
+RestaurantEntity MutateRestaurant(const RestaurantEntity& src, Rng& rng) {
+  RestaurantEntity e = src;
+  // Same name pattern + cuisine, different branch (address/phone).
+  e.number = rng.UniformInt(1, 999);
+  e.street = rng.UniformInt(static_cast<int>(kStreets.size()));
+  e.city = rng.UniformInt(static_cast<int>(kCities.size()));
+  e.phone = StrPrintf("%03d %03d %04d", rng.UniformInt(200, 989),
+                      rng.UniformInt(100, 999), rng.UniformInt(0, 9999));
+  if (e.SameIdentity(src)) e.number = src.number == 1 ? 2 : src.number - 1;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: latent entity -> Record. Rendering is itself randomized so the
+// two sides of a match differ in surface form even before noise.
+// ---------------------------------------------------------------------------
+
+std::string RenderProductName(const ProductEntity& e, Rng& rng) {
+  std::vector<std::string> parts;
+  parts.push_back(kBrands[e.brand]);
+  if (rng.Bernoulli(0.7)) parts.push_back(kAdjectives[e.adjective]);
+  parts.push_back(kProductKinds[e.kind].noun);
+  parts.push_back(e.model);
+  if (rng.Bernoulli(0.4)) parts.push_back(kColors[e.color]);
+  return Join(parts, " ");
+}
+
+std::string RenderProductDescription(const ProductEntity& e, Rng& rng) {
+  std::vector<std::string> parts;
+  parts.push_back(kAdjectives[e.adjective]);
+  parts.push_back(kProductKinds[e.kind].noun);
+  parts.push_back("with");
+  for (size_t i = 0; i < e.features.size(); ++i) {
+    if (i > 0) parts.push_back(rng.Bernoulli(0.5) ? "and" : "plus");
+    parts.push_back(kFeatures[e.features[i]]);
+  }
+  parts.push_back("in");
+  parts.push_back(kColors[e.color]);
+  return Join(parts, " ");
+}
+
+Record RenderProduct(const Schema& schema, Flavor flavor,
+                     const ProductEntity& e, Rng& rng) {
+  Record r;
+  const std::string name = RenderProductName(e, rng);
+  const std::string desc = RenderProductDescription(e, rng);
+  const std::string price = StrPrintf("%.2f", e.price);
+  if (flavor == Flavor::kTextual) {
+    std::string blob = desc + " by " + kBrands[e.brand] + " " +
+                       kProductKinds[e.kind].category + " series priced at " +
+                       price;
+    r.values = {name, blob};
+  } else {
+    r.values = {name, kBrands[e.brand], kProductKinds[e.kind].category, price,
+                desc};
+  }
+  CREW_CHECK(static_cast<int>(r.values.size()) == schema.size());
+  return r;
+}
+
+std::string RenderAuthors(const BiblioEntity& e, Rng& rng) {
+  std::vector<std::string> parts;
+  const bool initials = rng.Bernoulli(0.5);
+  for (size_t i = 0; i < e.authors.size(); ++i) {
+    if (i > 0) parts.push_back(rng.Bernoulli(0.5) ? "and" : ",");
+    std::string first = kFirstNames[e.authors[i].first];
+    if (initials) first = first.substr(0, 1);
+    parts.push_back(first);
+    parts.push_back(kLastNames[e.authors[i].second]);
+  }
+  return Join(parts, " ");
+}
+
+Record RenderBiblio(const Schema& schema, Flavor flavor,
+                    const BiblioEntity& e, Rng& rng) {
+  std::vector<std::string> title_words;
+  for (int w : e.title_words) title_words.push_back(kTopics[w]);
+  if (rng.Bernoulli(0.3)) title_words.push_back("systems");
+  const std::string title = Join(title_words, " ");
+  const std::string authors = RenderAuthors(e, rng);
+  const std::string venue = kVenues[e.venue];
+  const std::string year = std::to_string(e.year);
+  Record r;
+  if (flavor == Flavor::kTextual) {
+    std::string source = authors + " in " + venue + " " + year;
+    r.values = {title, source};
+  } else {
+    r.values = {title, authors, venue, year};
+  }
+  CREW_CHECK(static_cast<int>(r.values.size()) == schema.size());
+  return r;
+}
+
+Record RenderRestaurant(const Schema& schema, Flavor flavor,
+                        const RestaurantEntity& e, Rng& rng) {
+  std::string name = std::string(rng.Bernoulli(0.4) ? "the " : "") +
+                     kRestaurantHeads[e.head] + " " + kRestaurantTails[e.tail];
+  if (rng.Bernoulli(0.25)) name += " restaurant";
+  const std::string address = std::to_string(e.number) + " " +
+                              kStreets[e.street] + " " +
+                              kStreetSuffix[e.suffix];
+  Record r;
+  if (flavor == Flavor::kTextual) {
+    std::string details = kCuisines[e.cuisine] +
+                          std::string(" cuisine located at ") + address +
+                          " in " + kCities[e.city] + " phone " + e.phone;
+    r.values = {name, details};
+  } else {
+    r.values = {name, address, kCities[e.city], kCuisines[e.cuisine], e.phone};
+  }
+  CREW_CHECK(static_cast<int>(r.values.size()) == schema.size());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Schemas and noise per flavour.
+// ---------------------------------------------------------------------------
+
+Schema MakeSchema(Domain domain, Flavor flavor) {
+  Schema s;
+  const bool textual = flavor == Flavor::kTextual;
+  switch (domain) {
+    case Domain::kProducts:
+      if (textual) {
+        s.AddAttribute("name", AttributeType::kText);
+        s.AddAttribute("description", AttributeType::kText);
+      } else {
+        s.AddAttribute("name", AttributeType::kText);
+        s.AddAttribute("brand", AttributeType::kCategorical);
+        s.AddAttribute("category", AttributeType::kCategorical);
+        s.AddAttribute("price", AttributeType::kNumeric);
+        s.AddAttribute("description", AttributeType::kText);
+      }
+      break;
+    case Domain::kBibliographic:
+      if (textual) {
+        s.AddAttribute("title", AttributeType::kText);
+        s.AddAttribute("source", AttributeType::kText);
+      } else {
+        s.AddAttribute("title", AttributeType::kText);
+        s.AddAttribute("authors", AttributeType::kText);
+        s.AddAttribute("venue", AttributeType::kCategorical);
+        s.AddAttribute("year", AttributeType::kNumeric);
+      }
+      break;
+    case Domain::kRestaurants:
+      if (textual) {
+        s.AddAttribute("name", AttributeType::kText);
+        s.AddAttribute("details", AttributeType::kText);
+      } else {
+        s.AddAttribute("name", AttributeType::kText);
+        s.AddAttribute("address", AttributeType::kText);
+        s.AddAttribute("city", AttributeType::kCategorical);
+        s.AddAttribute("cuisine", AttributeType::kCategorical);
+        s.AddAttribute("phone", AttributeType::kText);
+      }
+      break;
+  }
+  return s;
+}
+
+NoiseConfig MakeNoise(Flavor flavor) {
+  NoiseConfig n;
+  switch (flavor) {
+    case Flavor::kStructured:
+      n.typo_per_token = 0.02;
+      n.token_drop = 0.03;
+      n.token_duplicate = 0.01;
+      n.abbreviate = 0.03;
+      n.synonym = 0.08;
+      break;
+    case Flavor::kDirty:
+      n.typo_per_token = 0.05;
+      n.token_drop = 0.08;
+      n.token_duplicate = 0.02;
+      n.abbreviate = 0.08;
+      n.synonym = 0.12;
+      n.attribute_swap = 0.20;
+      n.missing_value = 0.08;
+      break;
+    case Flavor::kTextual:
+      n.typo_per_token = 0.03;
+      n.token_drop = 0.06;
+      n.token_duplicate = 0.01;
+      n.abbreviate = 0.05;
+      n.synonym = 0.12;
+      n.token_shuffle = 0.10;
+      break;
+  }
+  return n;
+}
+
+}  // namespace
+
+const char* DomainName(Domain d) {
+  switch (d) {
+    case Domain::kProducts:
+      return "products";
+    case Domain::kBibliographic:
+      return "biblio";
+    case Domain::kRestaurants:
+      return "restaurants";
+  }
+  return "unknown";
+}
+
+const char* FlavorName(Flavor f) {
+  switch (f) {
+    case Flavor::kStructured:
+      return "structured";
+    case Flavor::kDirty:
+      return "dirty";
+    case Flavor::kTextual:
+      return "textual";
+  }
+  return "unknown";
+}
+
+std::string GeneratorConfig::Name() const {
+  return std::string(DomainName(domain)) + "-" + FlavorName(flavor);
+}
+
+const SynonymTable& DomainSynonyms(Domain domain) {
+  static const SynonymTable* products =
+      new SynonymTable(MakeProductSynonyms());
+  static const SynonymTable* biblio = new SynonymTable(MakeBiblioSynonyms());
+  static const SynonymTable* restaurants =
+      new SynonymTable(MakeRestaurantSynonyms());
+  switch (domain) {
+    case Domain::kProducts:
+      return *products;
+    case Domain::kBibliographic:
+      return *biblio;
+    case Domain::kRestaurants:
+      return *restaurants;
+  }
+  return *products;
+}
+
+Result<Dataset> GenerateDataset(const GeneratorConfig& config) {
+  if (config.num_matches < 0 || config.num_nonmatches < 0) {
+    return Status::InvalidArgument("GenerateDataset: negative pair counts");
+  }
+  if (config.hard_negative_fraction < 0.0 ||
+      config.hard_negative_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "GenerateDataset: hard_negative_fraction out of [0,1]");
+  }
+  const Schema schema = MakeSchema(config.domain, config.flavor);
+  const NoiseConfig noise = MakeNoise(config.flavor);
+  const SynonymTable& synonyms = DomainSynonyms(config.domain);
+  Dataset dataset(schema);
+  Rng rng(config.seed);
+
+  // Domain-generic loop implemented per domain to keep entity types simple.
+  auto emit_pair = [&](Record left, Record right, int label, Rng& r) {
+    // Noise both sides of matches; noise only the right side of non-matches
+    // (the "left table" is typically the cleaner catalog).
+    if (label == 1) ApplyNoise(noise, schema, synonyms, r, &left);
+    ApplyNoise(noise, schema, synonyms, r, &right);
+    RecordPair p;
+    p.left = std::move(left);
+    p.right = std::move(right);
+    p.label = label;
+    dataset.Add(std::move(p));
+  };
+
+  switch (config.domain) {
+    case Domain::kProducts: {
+      for (int i = 0; i < config.num_matches; ++i) {
+        ProductEntity e = SampleProduct(rng);
+        emit_pair(RenderProduct(schema, config.flavor, e, rng),
+                  RenderProduct(schema, config.flavor, e, rng), 1, rng);
+      }
+      for (int i = 0; i < config.num_nonmatches; ++i) {
+        ProductEntity a = SampleProduct(rng);
+        ProductEntity b = rng.Bernoulli(config.hard_negative_fraction)
+                              ? MutateProduct(a, rng)
+                              : SampleProduct(rng);
+        while (b.SameIdentity(a)) b = SampleProduct(rng);
+        emit_pair(RenderProduct(schema, config.flavor, a, rng),
+                  RenderProduct(schema, config.flavor, b, rng), 0, rng);
+      }
+      break;
+    }
+    case Domain::kBibliographic: {
+      for (int i = 0; i < config.num_matches; ++i) {
+        BiblioEntity e = SampleBiblio(rng);
+        emit_pair(RenderBiblio(schema, config.flavor, e, rng),
+                  RenderBiblio(schema, config.flavor, e, rng), 1, rng);
+      }
+      for (int i = 0; i < config.num_nonmatches; ++i) {
+        BiblioEntity a = SampleBiblio(rng);
+        BiblioEntity b = rng.Bernoulli(config.hard_negative_fraction)
+                             ? MutateBiblio(a, rng)
+                             : SampleBiblio(rng);
+        while (b.SameIdentity(a)) b = SampleBiblio(rng);
+        emit_pair(RenderBiblio(schema, config.flavor, a, rng),
+                  RenderBiblio(schema, config.flavor, b, rng), 0, rng);
+      }
+      break;
+    }
+    case Domain::kRestaurants: {
+      for (int i = 0; i < config.num_matches; ++i) {
+        RestaurantEntity e = SampleRestaurant(rng);
+        emit_pair(RenderRestaurant(schema, config.flavor, e, rng),
+                  RenderRestaurant(schema, config.flavor, e, rng), 1, rng);
+      }
+      for (int i = 0; i < config.num_nonmatches; ++i) {
+        RestaurantEntity a = SampleRestaurant(rng);
+        RestaurantEntity b = rng.Bernoulli(config.hard_negative_fraction)
+                                 ? MutateRestaurant(a, rng)
+                                 : SampleRestaurant(rng);
+        while (b.SameIdentity(a)) b = SampleRestaurant(rng);
+        emit_pair(RenderRestaurant(schema, config.flavor, a, rng),
+                  RenderRestaurant(schema, config.flavor, b, rng), 0, rng);
+      }
+      break;
+    }
+  }
+  return dataset;
+}
+
+}  // namespace crew

@@ -1,0 +1,119 @@
+#include "crew/data/magellan.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "crew/common/string_util.h"
+#include "crew/data/csv.h"
+
+namespace crew {
+namespace {
+
+struct Table {
+  Schema schema;
+  /// id -> record (ids in the public datasets are integers, but we keep
+  /// them as strings for robustness).
+  std::unordered_map<std::string, Record> records;
+};
+
+Result<Table> ParseEntityTable(const std::string& csv_text,
+                               const std::string& name) {
+  auto rows_or = ParseCsv(csv_text);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != "id") {
+    return Status::InvalidArgument(
+        name + ": header must start with 'id' and have >= 1 attribute");
+  }
+  Table table;
+  for (size_t c = 1; c < rows[0].size(); ++c) {
+    table.schema.AddAttribute(rows[0][c], AttributeType::kText);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) {
+      return Status::InvalidArgument(
+          StrPrintf("%s: row %d has wrong field count", name.c_str(),
+                    static_cast<int>(r)));
+    }
+    Record record;
+    record.values.assign(rows[r].begin() + 1, rows[r].end());
+    if (!table.records.emplace(rows[r][0], std::move(record)).second) {
+      return Status::InvalidArgument(name + ": duplicate id " + rows[r][0]);
+    }
+  }
+  return table;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Result<Dataset> LoadMagellanFromStrings(const std::string& table_a_csv,
+                                        const std::string& table_b_csv,
+                                        const std::string& pairs_csv) {
+  auto table_a = ParseEntityTable(table_a_csv, "tableA");
+  if (!table_a.ok()) return table_a.status();
+  auto table_b = ParseEntityTable(table_b_csv, "tableB");
+  if (!table_b.ok()) return table_b.status();
+  if (!(table_a->schema == table_b->schema)) {
+    return Status::InvalidArgument(
+        "tableA and tableB have different attributes");
+  }
+
+  auto rows_or = ParseCsv(pairs_csv);
+  if (!rows_or.ok()) return rows_or.status();
+  const auto& rows = rows_or.value();
+  if (rows.empty() || rows[0].size() != 3 || rows[0][0] != "ltable_id" ||
+      rows[0][1] != "rtable_id" || rows[0][2] != "label") {
+    return Status::InvalidArgument(
+        "pairs: header must be ltable_id,rtable_id,label");
+  }
+  Dataset dataset(table_a->schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 3) {
+      return Status::InvalidArgument(
+          StrPrintf("pairs: row %d has wrong field count",
+                    static_cast<int>(r)));
+    }
+    auto left = table_a->records.find(rows[r][0]);
+    if (left == table_a->records.end()) {
+      return Status::NotFound("pairs: unknown ltable_id " + rows[r][0]);
+    }
+    auto right = table_b->records.find(rows[r][1]);
+    if (right == table_b->records.end()) {
+      return Status::NotFound("pairs: unknown rtable_id " + rows[r][1]);
+    }
+    int label = -1;
+    if (!ParseInt(rows[r][2], &label) || (label != 0 && label != 1)) {
+      return Status::InvalidArgument(
+          StrPrintf("pairs: bad label in row %d", static_cast<int>(r)));
+    }
+    RecordPair pair;
+    pair.left = left->second;
+    pair.right = right->second;
+    pair.label = label;
+    dataset.Add(std::move(pair));
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadMagellanDirectory(const std::string& directory,
+                                      const std::string& split) {
+  auto table_a = ReadFile(directory + "/tableA.csv");
+  if (!table_a.ok()) return table_a.status();
+  auto table_b = ReadFile(directory + "/tableB.csv");
+  if (!table_b.ok()) return table_b.status();
+  auto pairs = ReadFile(directory + "/" + split + ".csv");
+  if (!pairs.ok()) return pairs.status();
+  return LoadMagellanFromStrings(table_a.value(), table_b.value(),
+                                 pairs.value());
+}
+
+}  // namespace crew

@@ -1,0 +1,32 @@
+#ifndef CREW_DATA_MAGELLAN_H_
+#define CREW_DATA_MAGELLAN_H_
+
+#include <string>
+
+#include "crew/common/status.h"
+#include "crew/data/dataset.h"
+
+namespace crew {
+
+/// Loader for the Magellan/DeepMatcher public benchmark layout — the
+/// format the original paper's datasets ship in:
+///
+///   <dir>/tableA.csv     id,<attr1>,<attr2>,...
+///   <dir>/tableB.csv     id,<attr1>,<attr2>,...   (same attributes)
+///   <dir>/<split>.csv    ltable_id,rtable_id,label
+///
+/// Returns the split as a pair Dataset (attributes typed kText; callers
+/// can re-type numeric columns if they know better). This lets the library
+/// run on the real Abt-Buy / DBLP-ACM / ... downloads when they are
+/// available, in place of the synthetic generator.
+Result<Dataset> LoadMagellanDirectory(const std::string& directory,
+                                      const std::string& split = "train");
+
+/// In-memory variant for tests: contents of the three CSV files.
+Result<Dataset> LoadMagellanFromStrings(const std::string& table_a_csv,
+                                        const std::string& table_b_csv,
+                                        const std::string& pairs_csv);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_MAGELLAN_H_

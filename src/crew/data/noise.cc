@@ -1,0 +1,95 @@
+#include "crew/data/noise.h"
+
+#include <algorithm>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+namespace {
+
+// Applies token-level channels to one attribute value; returns the new value.
+std::string NoiseTokens(const NoiseConfig& config,
+                        const SynonymTable& synonyms, Rng& rng,
+                        const std::string& value) {
+  std::vector<std::string> tokens = SplitWhitespace(value);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& tok : tokens) {
+    if (config.token_drop > 0.0 && tokens.size() > 1 &&
+        rng.Bernoulli(config.token_drop)) {
+      continue;
+    }
+    std::string t = tok;
+    if (config.synonym > 0.0 && rng.Bernoulli(config.synonym)) {
+      auto it = synonyms.find(AsciiLower(t));
+      if (it != synonyms.end() && !it->second.empty()) {
+        t = it->second[rng.UniformInt(static_cast<int>(it->second.size()))];
+      }
+    }
+    if (config.abbreviate > 0.0 && t.size() > 5 &&
+        rng.Bernoulli(config.abbreviate)) {
+      t = Abbreviate(t);
+    }
+    if (config.typo_per_token > 0.0 && rng.Bernoulli(config.typo_per_token)) {
+      t = InjectTypo(t, rng);
+    }
+    out.push_back(t);
+    if (config.token_duplicate > 0.0 && rng.Bernoulli(config.token_duplicate)) {
+      out.push_back(out.back());
+    }
+  }
+  if (config.token_shuffle > 0.0 && out.size() > 1 &&
+      rng.Bernoulli(config.token_shuffle)) {
+    rng.Shuffle(out);
+  }
+  return Join(out, " ");
+}
+
+}  // namespace
+
+std::string InjectTypo(const std::string& token, Rng& rng) {
+  if (token.size() < 3) return token;
+  std::string t = token;
+  const int pos = rng.UniformInt(static_cast<int>(t.size()));
+  switch (rng.UniformInt(4)) {
+    case 0:  // swap adjacent
+      if (pos + 1 < static_cast<int>(t.size())) std::swap(t[pos], t[pos + 1]);
+      break;
+    case 1:  // delete
+      t.erase(t.begin() + pos);
+      break;
+    case 2:  // insert random letter
+      t.insert(t.begin() + pos, static_cast<char>('a' + rng.UniformInt(26)));
+      break;
+    default:  // substitute
+      t[pos] = static_cast<char>('a' + rng.UniformInt(26));
+      break;
+  }
+  return t;
+}
+
+std::string Abbreviate(const std::string& token) {
+  const size_t keep = std::min<size_t>(4, token.size() - 1);
+  return token.substr(0, keep);
+}
+
+void ApplyNoise(const NoiseConfig& config, const Schema& schema,
+                const SynonymTable& synonyms, Rng& rng, Record* record) {
+  for (int a = 0; a < schema.size(); ++a) {
+    std::string& value = record->values[a];
+    if (config.missing_value > 0.0 && rng.Bernoulli(config.missing_value)) {
+      value.clear();
+      continue;
+    }
+    value = NoiseTokens(config, synonyms, rng, value);
+  }
+  if (config.attribute_swap > 0.0 && schema.size() > 1 &&
+      rng.Bernoulli(config.attribute_swap)) {
+    const int a = rng.UniformInt(schema.size());
+    int b = rng.UniformInt(schema.size());
+    if (b == a) b = (a + 1) % schema.size();
+    std::swap(record->values[a], record->values[b]);
+  }
+}
+
+}  // namespace crew

@@ -1,0 +1,52 @@
+#ifndef CREW_DATA_NOISE_H_
+#define CREW_DATA_NOISE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crew/common/rng.h"
+#include "crew/data/record.h"
+#include "crew/data/schema.h"
+
+namespace crew {
+
+/// Probabilities of the noise channels applied when deriving the second
+/// description of a matching pair (and when "dirtying" datasets). These model
+/// the corruptions observed in the Magellan benchmark families:
+///   - typos (character edits),
+///   - dropped / duplicated tokens,
+///   - abbreviations ("corporation" -> "corp."),
+///   - synonym substitutions (from a domain synonym table),
+///   - attribute-value swaps (value appears under the wrong attribute),
+///   - missing values.
+struct NoiseConfig {
+  double typo_per_token = 0.02;
+  double token_drop = 0.05;
+  double token_duplicate = 0.01;
+  double abbreviate = 0.05;
+  double synonym = 0.10;
+  double attribute_swap = 0.0;   ///< per record
+  double missing_value = 0.0;    ///< per attribute
+  double token_shuffle = 0.0;    ///< per attribute: permute token order
+};
+
+/// Domain-specific synonym table: token -> interchangeable surface forms.
+using SynonymTable = std::unordered_map<std::string, std::vector<std::string>>;
+
+/// Applies the configured noise channels to `record` in place.
+/// Deterministic given `rng` state.
+void ApplyNoise(const NoiseConfig& config, const Schema& schema,
+                const SynonymTable& synonyms, Rng& rng, Record* record);
+
+/// Introduces a typo into `token`: one random swap, deletion, insertion or
+/// substitution with a nearby lowercase letter. Tokens of length < 3 are
+/// returned unchanged.
+std::string InjectTypo(const std::string& token, Rng& rng);
+
+/// "corporation" -> "corp". Keeps the first min(4, len-1) characters.
+std::string Abbreviate(const std::string& token);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_NOISE_H_

@@ -1,0 +1,40 @@
+#include "crew/data/record.h"
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+std::string Record::ToDisplayString(const Schema& schema) const {
+  CREW_CHECK(static_cast<int>(values.size()) == schema.size());
+  std::string out;
+  for (int i = 0; i < schema.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.name(i);
+    out += ": ";
+    out += values[i];
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TokenizeRecord(
+    const Tokenizer& tokenizer, const Schema& schema, const Record& record) {
+  CREW_CHECK(static_cast<int>(record.values.size()) == schema.size());
+  std::vector<std::vector<std::string>> out(schema.size());
+  for (int a = 0; a < schema.size(); ++a) {
+    out[a] = tokenizer.Tokenize(record.values[a]);
+  }
+  return out;
+}
+
+std::vector<std::string> FlattenTokens(const Tokenizer& tokenizer,
+                                       const Schema& schema,
+                                       const Record& record) {
+  std::vector<std::string> out;
+  for (int a = 0; a < schema.size(); ++a) {
+    auto toks = tokenizer.Tokenize(record.values[a]);
+    out.insert(out.end(), toks.begin(), toks.end());
+  }
+  return out;
+}
+
+}  // namespace crew

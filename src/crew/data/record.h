@@ -1,0 +1,60 @@
+#ifndef CREW_DATA_RECORD_H_
+#define CREW_DATA_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/data/schema.h"
+#include "crew/text/tokenizer.h"
+
+namespace crew {
+
+/// One entity description: attribute values aligned with a Schema.
+struct Record {
+  std::vector<std::string> values;
+
+  const std::string& value(int attribute) const { return values[attribute]; }
+
+  /// All attribute values joined with " | " (debug / display).
+  std::string ToDisplayString(const Schema& schema) const;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.values == b.values;
+  }
+};
+
+/// Which side of an EM pair a token / record belongs to.
+enum class Side { kLeft = 0, kRight = 1 };
+
+inline const char* SideName(Side s) {
+  return s == Side::kLeft ? "left" : "right";
+}
+
+/// A candidate pair of entity descriptions plus (optionally) a gold label.
+struct RecordPair {
+  Record left;
+  Record right;
+  /// 1 = match, 0 = non-match, -1 = unlabeled.
+  int label = -1;
+
+  const Record& side(Side s) const {
+    return s == Side::kLeft ? left : right;
+  }
+  Record& side(Side s) { return s == Side::kLeft ? left : right; }
+
+  bool IsMatch() const { return label == 1; }
+};
+
+/// Tokenizes every attribute of `record`; result[i] holds attribute i's
+/// tokens in order.
+std::vector<std::vector<std::string>> TokenizeRecord(
+    const Tokenizer& tokenizer, const Schema& schema, const Record& record);
+
+/// All tokens of `record` flattened across attributes, in schema order.
+std::vector<std::string> FlattenTokens(const Tokenizer& tokenizer,
+                                       const Schema& schema,
+                                       const Record& record);
+
+}  // namespace crew
+
+#endif  // CREW_DATA_RECORD_H_

@@ -1,0 +1,30 @@
+#include "crew/data/schema.h"
+
+namespace crew {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kText:
+      return "text";
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+int Schema::AddAttribute(std::string name, AttributeType type) {
+  names_.push_back(std::move(name));
+  types_.push_back(type);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace crew

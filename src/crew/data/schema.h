@@ -1,0 +1,51 @@
+#ifndef CREW_DATA_SCHEMA_H_
+#define CREW_DATA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crew {
+
+/// Attribute value type hint; drives which similarity features the matcher
+/// computes for the attribute.
+enum class AttributeType {
+  kText,         ///< free text (name, description)
+  kCategorical,  ///< small closed domain (brand, category)
+  kNumeric,      ///< numbers (price, year)
+};
+
+const char* AttributeTypeName(AttributeType type);
+
+/// Ordered list of attributes that both records of an EM pair share.
+///
+/// EM benchmarks (Magellan/DeepMatcher) assume the two sides are already
+/// schema-aligned; CREW inherits that assumption.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends an attribute; returns its index.
+  int AddAttribute(std::string name, AttributeType type);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int i) const { return names_[i]; }
+  AttributeType type(int i) const { return types_[i]; }
+
+  /// Index of attribute `name`, or -1.
+  int IndexOf(std::string_view name) const;
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.names_ == b.names_ && a.types_ == b.types_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<AttributeType> types_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_DATA_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "crew/embed/embedding_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+std::string EmbeddingsToText(const EmbeddingStore& store) {
+  std::string out = StrPrintf("%d %d\n", store.size(), store.dim());
+  for (int id = 0; id < store.size(); ++id) {
+    const std::string& token = store.vocab().TokenOf(id);
+    out += token;
+    const la::Vec v = store.Lookup(token);
+    for (double x : v) out += StrPrintf(" %.6f", x);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<EmbeddingStore> EmbeddingsFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("embeddings: empty input");
+  }
+  const auto header = SplitWhitespace(line);
+  int size = 0, dim = 0;
+  if (header.size() != 2 || !ParseInt(header[0], &size) ||
+      !ParseInt(header[1], &dim) || size < 0 || dim <= 0) {
+    return Status::InvalidArgument("embeddings: malformed header");
+  }
+  Vocabulary vocab;
+  la::Matrix vectors(size, dim);
+  int row = 0;
+  while (std::getline(in, line)) {
+    if (StripWhitespace(line).empty()) continue;
+    if (row >= size) {
+      return Status::InvalidArgument("embeddings: more rows than declared");
+    }
+    const auto fields = SplitWhitespace(line);
+    if (static_cast<int>(fields.size()) != dim + 1) {
+      return Status::InvalidArgument(
+          StrPrintf("embeddings: row %d has %d fields, expected %d", row,
+                    static_cast<int>(fields.size()), dim + 1));
+    }
+    if (vocab.Contains(fields[0])) {
+      return Status::InvalidArgument("embeddings: duplicate token " +
+                                     fields[0]);
+    }
+    vocab.Add(fields[0]);
+    for (int c = 0; c < dim; ++c) {
+      double v = 0.0;
+      if (!ParseDouble(fields[c + 1], &v)) {
+        return Status::InvalidArgument(
+            StrPrintf("embeddings: bad number in row %d", row));
+      }
+      vectors.At(row, c) = v;
+    }
+    ++row;
+  }
+  if (row != size) {
+    return Status::InvalidArgument(
+        StrPrintf("embeddings: declared %d rows, found %d", size, row));
+  }
+  return EmbeddingStore(std::move(vocab), std::move(vectors));
+}
+
+Status SaveEmbeddingsFile(const EmbeddingStore& store,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << EmbeddingsToText(store);
+  return out.good() ? Status::Ok() : Status::DataLoss("short write: " + path);
+}
+
+Result<EmbeddingStore> LoadEmbeddingsFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return EmbeddingsFromText(buf.str());
+}
+
+}  // namespace crew

@@ -1,0 +1,28 @@
+#ifndef CREW_EMBED_EMBEDDING_IO_H_
+#define CREW_EMBED_EMBEDDING_IO_H_
+
+#include <string>
+
+#include "crew/common/status.h"
+#include "crew/embed/embedding_store.h"
+
+namespace crew {
+
+/// Serializes the store in the word2vec text format:
+///   <vocab_size> <dim>\n
+///   <token> <v0> <v1> ... <v_dim-1>\n ...
+/// Vectors are written post-normalization (the store keeps unit rows).
+std::string EmbeddingsToText(const EmbeddingStore& store);
+
+/// Parses the word2vec text format. Rejects malformed headers, dimension
+/// mismatches and duplicate tokens.
+Result<EmbeddingStore> EmbeddingsFromText(const std::string& text);
+
+/// File variants.
+Status SaveEmbeddingsFile(const EmbeddingStore& store,
+                          const std::string& path);
+Result<EmbeddingStore> LoadEmbeddingsFile(const std::string& path);
+
+}  // namespace crew
+
+#endif  // CREW_EMBED_EMBEDDING_IO_H_

@@ -1,0 +1,81 @@
+#include "crew/embed/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+EmbeddingStore::EmbeddingStore(Vocabulary vocab, la::Matrix vectors)
+    : vocab_(std::move(vocab)), vectors_(std::move(vectors)) {
+  CREW_CHECK(vectors_.rows() == vocab_.size());
+  // Normalize rows once so cosine reduces to a dot product.
+  for (int r = 0; r < vectors_.rows(); ++r) {
+    double norm = 0.0;
+    double* row = vectors_.Row(r);
+    for (int c = 0; c < vectors_.cols(); ++c) norm += row[c] * row[c];
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (int c = 0; c < vectors_.cols(); ++c) row[c] /= norm;
+    }
+  }
+}
+
+la::Vec EmbeddingStore::Lookup(std::string_view token) const {
+  const int id = vocab_.GetId(token);
+  if (id < 0) return la::Vec(dim(), 0.0);
+  return vectors_.RowVec(id);
+}
+
+double EmbeddingStore::Similarity(std::string_view a,
+                                  std::string_view b) const {
+  const int ia = vocab_.GetId(a);
+  const int ib = vocab_.GetId(b);
+  if (ia < 0 || ib < 0) return 0.0;
+  const double* ra = vectors_.Row(ia);
+  const double* rb = vectors_.Row(ib);
+  double dot = 0.0;
+  for (int c = 0; c < dim(); ++c) dot += ra[c] * rb[c];
+  return dot;
+}
+
+la::Vec EmbeddingStore::MeanVector(
+    const std::vector<std::string>& tokens) const {
+  la::Vec mean(dim(), 0.0);
+  int n = 0;
+  for (const auto& tok : tokens) {
+    const int id = vocab_.GetId(tok);
+    if (id < 0) continue;
+    const double* row = vectors_.Row(id);
+    for (int c = 0; c < dim(); ++c) mean[c] += row[c];
+    ++n;
+  }
+  if (n > 0) la::Scale(1.0 / n, mean);
+  return mean;
+}
+
+std::vector<std::pair<std::string, double>> EmbeddingStore::NearestNeighbors(
+    std::string_view token, int k) const {
+  std::vector<std::pair<std::string, double>> out;
+  const int id = vocab_.GetId(token);
+  if (id < 0 || k <= 0) return out;
+  std::vector<std::pair<double, int>> scored;
+  const double* q = vectors_.Row(id);
+  for (int r = 0; r < vectors_.rows(); ++r) {
+    if (r == id) continue;
+    const double* row = vectors_.Row(r);
+    double dot = 0.0;
+    for (int c = 0; c < dim(); ++c) dot += q[c] * row[c];
+    scored.push_back({dot, r});
+  }
+  const int take = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int i = 0; i < take; ++i) {
+    out.push_back({vocab_.TokenOf(scored[i].second), scored[i].first});
+  }
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,27 @@
+#include "crew/embed/ppmi.h"
+
+#include <cmath>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+la::SymmetricSparse BuildPpmiMatrix(const CooccurrenceCounter& counts,
+                                    double shift) {
+  CREW_CHECK(shift >= 1.0);
+  la::SymmetricSparse m(counts.vocab().size());
+  const double total = static_cast<double>(counts.Total());
+  if (total <= 0.0) return m;
+  const double log_shift = std::log(shift);
+  counts.ForEach([&](int i, int j, int64_t c) {
+    const double mi = static_cast<double>(counts.Marginal(i));
+    const double mj = static_cast<double>(counts.Marginal(j));
+    if (mi <= 0.0 || mj <= 0.0) return;
+    const double pmi =
+        std::log(static_cast<double>(c) * total / (mi * mj)) - log_shift;
+    if (pmi > 0.0) m.SetSymmetric(i, j, pmi);
+  });
+  return m;
+}
+
+}  // namespace crew

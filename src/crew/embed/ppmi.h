@@ -1,0 +1,18 @@
+#ifndef CREW_EMBED_PPMI_H_
+#define CREW_EMBED_PPMI_H_
+
+#include "crew/embed/cooccurrence.h"
+#include "crew/la/svd.h"
+
+namespace crew {
+
+/// Builds the shifted positive PMI matrix from co-occurrence counts:
+///   ppmi(i, j) = max(0, log(c_ij * C / (m_i * m_j)) - log(shift)).
+/// `shift` >= 1 corresponds to SGNS's negative-sampling prior (Levy &
+/// Goldberg 2014); shift = 1 is plain PPMI.
+la::SymmetricSparse BuildPpmiMatrix(const CooccurrenceCounter& counts,
+                                    double shift = 1.0);
+
+}  // namespace crew
+
+#endif  // CREW_EMBED_PPMI_H_

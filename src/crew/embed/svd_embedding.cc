@@ -1,0 +1,43 @@
+#include "crew/embed/svd_embedding.h"
+
+#include <cmath>
+
+#include "crew/embed/ppmi.h"
+
+namespace crew {
+
+Result<EmbeddingStore> TrainSvdEmbeddings(const Corpus& corpus,
+                                          const SvdEmbeddingConfig& config) {
+  if (config.dim <= 0) {
+    return Status::InvalidArgument("TrainSvdEmbeddings: dim must be positive");
+  }
+  Vocabulary full;
+  for (const auto& sentence : corpus) {
+    for (const auto& tok : sentence) full.Add(tok);
+  }
+  Vocabulary vocab = full.Pruned(config.min_count);
+  if (vocab.size() == 0) {
+    return Status::FailedPrecondition(
+        "TrainSvdEmbeddings: vocabulary empty after pruning");
+  }
+  const int dim = std::min(config.dim, vocab.size());
+
+  CooccurrenceCounter counts(vocab, config.window);
+  counts.AddCorpus(corpus);
+  la::SymmetricSparse ppmi = BuildPpmiMatrix(counts, config.ppmi_shift);
+
+  la::Matrix eigvecs;
+  la::Vec eigvals;
+  CREW_RETURN_IF_ERROR(TruncatedSymmetricEigen(
+      ppmi, dim, config.power_iterations, config.seed, &eigvecs, &eigvals));
+
+  la::Matrix vectors(vocab.size(), dim);
+  for (int r = 0; r < vocab.size(); ++r) {
+    for (int c = 0; c < dim; ++c) {
+      vectors.At(r, c) = eigvecs.At(r, c) * std::sqrt(std::fabs(eigvals[c]));
+    }
+  }
+  return EmbeddingStore(std::move(vocab), std::move(vectors));
+}
+
+}  // namespace crew

@@ -1,0 +1,28 @@
+#ifndef CREW_EMBED_SVD_EMBEDDING_H_
+#define CREW_EMBED_SVD_EMBEDDING_H_
+
+#include "crew/common/status.h"
+#include "crew/embed/cooccurrence.h"
+#include "crew/embed/embedding_store.h"
+
+namespace crew {
+
+struct SvdEmbeddingConfig {
+  int dim = 32;
+  int window = 5;
+  /// Tokens with corpus count below this are dropped from the vocabulary.
+  int min_count = 2;
+  /// Shift for the shifted-PPMI matrix (SGNS prior); 1.0 = plain PPMI.
+  double ppmi_shift = 1.0;
+  int power_iterations = 40;
+  uint64_t seed = 11;
+};
+
+/// Count-based embeddings: PPMI matrix + truncated symmetric eigen
+/// decomposition; vector_i = V_i * sqrt(|lambda|) (Levy & Goldberg 2014).
+Result<EmbeddingStore> TrainSvdEmbeddings(const Corpus& corpus,
+                                          const SvdEmbeddingConfig& config);
+
+}  // namespace crew
+
+#endif  // CREW_EMBED_SVD_EMBEDDING_H_

@@ -1,0 +1,66 @@
+#include "crew/eval/comprehensibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crew {
+
+ComprehensibilityResult EvaluateComprehensibility(
+    const WordExplanation& words, const std::vector<ExplanationUnit>& units,
+    const EmbeddingStore* embeddings) {
+  ComprehensibilityResult out;
+  out.total_units = static_cast<int>(units.size());
+  if (units.empty()) return out;
+
+  // Effective units: smallest prefix (by |weight|) covering 90% of mass.
+  std::vector<double> magnitudes;
+  double mass = 0.0;
+  for (const auto& unit : units) {
+    magnitudes.push_back(std::fabs(unit.weight));
+    mass += magnitudes.back();
+  }
+  std::sort(magnitudes.begin(), magnitudes.end(), std::greater<double>());
+  if (mass <= 0.0) {
+    out.effective_units = out.total_units;
+  } else {
+    double acc = 0.0;
+    for (size_t i = 0; i < magnitudes.size(); ++i) {
+      acc += magnitudes[i];
+      if (acc >= 0.9 * mass) {
+        out.effective_units = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+  }
+
+  int64_t total_words = 0;
+  int pure_units = 0;
+  double sim_sum = 0.0;
+  int sim_count = 0;
+  for (const auto& unit : units) {
+    total_words += static_cast<int64_t>(unit.member_indices.size());
+    bool pure = true;
+    for (size_t x = 0; x < unit.member_indices.size(); ++x) {
+      const auto& tx = words.attributions[unit.member_indices[x]].token;
+      if (tx.attribute !=
+          words.attributions[unit.member_indices[0]].token.attribute) {
+        pure = false;
+      }
+      for (size_t y = x + 1;
+           embeddings != nullptr && y < unit.member_indices.size(); ++y) {
+        const auto& ty = words.attributions[unit.member_indices[y]].token;
+        sim_sum += embeddings->Similarity(tx.text, ty.text);
+        ++sim_count;
+      }
+    }
+    if (pure) ++pure_units;
+  }
+  out.avg_words_per_unit =
+      static_cast<double>(total_words) / static_cast<double>(units.size());
+  out.semantic_coherence = sim_count > 0 ? sim_sum / sim_count : 0.0;
+  out.attribute_purity =
+      static_cast<double>(pure_units) / static_cast<double>(units.size());
+  return out;
+}
+
+}  // namespace crew

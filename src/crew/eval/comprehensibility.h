@@ -1,0 +1,33 @@
+#ifndef CREW_EVAL_COMPREHENSIBILITY_H_
+#define CREW_EVAL_COMPREHENSIBILITY_H_
+
+#include <vector>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/embed/embedding_store.h"
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// How readable an explanation is, following the size/coherence criteria
+/// CREW's abstract motivates (verbose explanations hinder understanding).
+struct ComprehensibilityResult {
+  /// Units the user must read to cover 90% of the total |weight| mass —
+  /// the effective explanation length.
+  int effective_units = 0;
+  int total_units = 0;
+  double avg_words_per_unit = 0.0;
+  /// Mean within-unit pairwise embedding similarity (multi-word units
+  /// only); 0 when no such pair exists.
+  double semantic_coherence = 0.0;
+  /// Fraction of units whose members all come from one schema attribute.
+  double attribute_purity = 0.0;
+};
+
+ComprehensibilityResult EvaluateComprehensibility(
+    const WordExplanation& words, const std::vector<ExplanationUnit>& units,
+    const EmbeddingStore* embeddings);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_COMPREHENSIBILITY_H_

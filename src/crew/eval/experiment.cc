@@ -1,0 +1,187 @@
+#include "crew/eval/experiment.h"
+
+#include <algorithm>
+
+#include "crew/explain/certa.h"
+#include "crew/explain/lemon.h"
+#include "crew/explain/lime.h"
+#include "crew/explain/mojito.h"
+#include "crew/explain/shap.h"
+#include "crew/core/decision_units.h"
+#include "crew/explain/random_explainer.h"
+
+namespace crew {
+
+std::vector<std::unique_ptr<Explainer>> BuildExplainerSuite(
+    std::shared_ptr<const EmbeddingStore> embeddings, const Dataset& support,
+    const ExplainerSuiteConfig& config) {
+  std::vector<std::unique_ptr<Explainer>> out;
+
+  LimeConfig lime;
+  lime.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<LimeExplainer>(lime));
+
+  MojitoConfig mojito_drop;
+  mojito_drop.mode = MojitoMode::kDrop;
+  mojito_drop.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<MojitoExplainer>(mojito_drop));
+
+  MojitoConfig mojito_copy;
+  mojito_copy.mode = MojitoMode::kCopy;
+  mojito_copy.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<MojitoExplainer>(mojito_copy));
+
+  LandmarkConfig landmark;
+  landmark.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<LandmarkExplainer>(landmark));
+
+  LemonConfig lemon;
+  lemon.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<LemonExplainer>(lemon));
+
+  KernelShapConfig shap;
+  shap.num_samples = config.num_samples;
+  out.push_back(std::make_unique<KernelShapExplainer>(shap));
+
+  CertaConfig certa;
+  certa.substitutions_per_token = config.certa_substitutions;
+  out.push_back(std::make_unique<CertaExplainer>(support, certa));
+
+  if (config.include_random) {
+    out.push_back(std::make_unique<RandomExplainer>());
+  }
+
+  DecisionUnitConfig wym;
+  wym.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<DecisionUnitExplainer>(embeddings, wym));
+
+  CrewConfig crew = config.crew;
+  crew.importance.perturbation.num_samples = config.num_samples;
+  out.push_back(std::make_unique<CrewExplainer>(embeddings, crew));
+  return out;
+}
+
+std::vector<int> SelectExplainInstances(const Matcher& matcher,
+                                        const Dataset& test, int n, Rng& rng) {
+  std::vector<int> predicted_match, predicted_nonmatch;
+  for (int i = 0; i < test.size(); ++i) {
+    if (test.pair(i).label != 0 && test.pair(i).label != 1) continue;
+    if (matcher.Predict(test.pair(i)) == 1) {
+      predicted_match.push_back(i);
+    } else {
+      predicted_nonmatch.push_back(i);
+    }
+  }
+  rng.Shuffle(predicted_match);
+  rng.Shuffle(predicted_nonmatch);
+  std::vector<int> out;
+  const int half = n / 2;
+  for (int i = 0; i < half && i < static_cast<int>(predicted_match.size());
+       ++i) {
+    out.push_back(predicted_match[i]);
+  }
+  for (int i = 0;
+       static_cast<int>(out.size()) < n &&
+       i < static_cast<int>(predicted_nonmatch.size());
+       ++i) {
+    out.push_back(predicted_nonmatch[i]);
+  }
+  // Backfill with more predicted matches if non-matches ran out.
+  for (int i = half;
+       static_cast<int>(out.size()) < n &&
+       i < static_cast<int>(predicted_match.size());
+       ++i) {
+    out.push_back(predicted_match[i]);
+  }
+  return out;
+}
+
+Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
+ExplainAsUnits(const Explainer& explainer, const Matcher& matcher,
+               const RecordPair& pair, uint64_t seed) {
+  // CREW is the one explainer producing multi-word units; detect it here so
+  // callers can treat the whole line-up uniformly. (RTTI confined to the
+  // evaluation harness.)
+  if (const auto* crew = dynamic_cast<const CrewExplainer*>(&explainer)) {
+    auto clusters = crew->ExplainClusters(matcher, pair, seed);
+    if (!clusters.ok()) return clusters.status();
+    return std::make_pair(std::move(clusters.value().words),
+                          std::move(clusters.value().units));
+  }
+  if (const auto* wym =
+          dynamic_cast<const DecisionUnitExplainer*>(&explainer)) {
+    return wym->ExplainUnits(matcher, pair, seed);
+  }
+  auto words = explainer.Explain(matcher, pair, seed);
+  if (!words.ok()) return words.status();
+  auto units = SingletonUnits(words.value());
+  return std::make_pair(std::move(words.value()), std::move(units));
+}
+
+Result<ExplainerAggregate> EvaluateExplainerOnDataset(
+    const Explainer& explainer, const Matcher& matcher, const Dataset& test,
+    const std::vector<int>& instance_indices,
+    const EmbeddingStore* embeddings, uint64_t seed,
+    std::vector<double>* per_instance_aopc) {
+  ExplainerAggregate agg;
+  agg.name = explainer.Name();
+  if (per_instance_aopc != nullptr) per_instance_aopc->clear();
+  Tokenizer tokenizer;
+  for (int idx : instance_indices) {
+    const RecordPair& pair = test.pair(idx);
+    auto explained = ExplainAsUnits(explainer, matcher, pair,
+                                    seed ^ (static_cast<uint64_t>(idx) << 20));
+    if (!explained.ok()) return explained.status();
+    const WordExplanation& words = explained.value().first;
+    const std::vector<ExplanationUnit>& units = explained.value().second;
+    if (units.empty()) continue;
+
+    EvalInstance instance{
+        PairTokenView(AnonymousSchema(pair), tokenizer, pair), units,
+        words.base_score, matcher.threshold()};
+
+    const double aopc = AopcDeletion(matcher, instance, 5);
+    if (per_instance_aopc != nullptr) per_instance_aopc->push_back(aopc);
+    agg.aopc += aopc;
+    agg.comprehensiveness_at_1 += ComprehensivenessAtK(matcher, instance, 1);
+    agg.comprehensiveness_at_3 += ComprehensivenessAtK(matcher, instance, 3);
+    agg.sufficiency_at_1 += SufficiencyAtK(matcher, instance, 1);
+    agg.sufficiency_at_3 += SufficiencyAtK(matcher, instance, 3);
+    agg.comprehensiveness_budget5 +=
+        ComprehensivenessAtTokenBudget(matcher, instance, 5);
+    agg.decision_flip_rate +=
+        DecisionFlipAtTop(matcher, instance) ? 1.0 : 0.0;
+
+    const ComprehensibilityResult comp =
+        EvaluateComprehensibility(words, units, embeddings);
+    agg.total_units += comp.total_units;
+    agg.effective_units += comp.effective_units;
+    agg.words_per_unit += comp.avg_words_per_unit;
+    agg.semantic_coherence += comp.semantic_coherence;
+    agg.attribute_purity += comp.attribute_purity;
+
+    agg.surrogate_r2 += words.surrogate_r2;
+    agg.runtime_ms += words.runtime_ms;
+    ++agg.instances;
+  }
+  if (agg.instances > 0) {
+    const double inv = 1.0 / agg.instances;
+    agg.aopc *= inv;
+    agg.comprehensiveness_at_1 *= inv;
+    agg.comprehensiveness_at_3 *= inv;
+    agg.sufficiency_at_1 *= inv;
+    agg.sufficiency_at_3 *= inv;
+    agg.comprehensiveness_budget5 *= inv;
+    agg.decision_flip_rate *= inv;
+    agg.total_units *= inv;
+    agg.effective_units *= inv;
+    agg.words_per_unit *= inv;
+    agg.semantic_coherence *= inv;
+    agg.attribute_purity *= inv;
+    agg.surrogate_r2 *= inv;
+    agg.runtime_ms *= inv;
+  }
+  return agg;
+}
+
+}  // namespace crew

@@ -1,0 +1,84 @@
+#ifndef CREW_EVAL_EXPERIMENT_H_
+#define CREW_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crew/core/crew_explainer.h"
+#include "crew/data/dataset.h"
+#include "crew/eval/comprehensibility.h"
+#include "crew/eval/faithfulness.h"
+#include "crew/model/trainer.h"
+
+namespace crew {
+
+/// Configuration of the explainer line-up used by the comparison tables.
+struct ExplainerSuiteConfig {
+  /// Perturbation samples per explanation for every sampling explainer.
+  int num_samples = 128;
+  /// Counterfactual substitutions per token for CERTA.
+  int certa_substitutions = 6;
+  bool include_random = true;
+  /// CREW's own knobs (its perturbation budget is synced to num_samples).
+  CrewConfig crew;
+};
+
+/// Builds the full line-up: lime, mojito_drop, mojito_copy, landmark,
+/// lemon, certa, (random), wym, crew — in canonical table order.
+/// `support` feeds CERTA's counterfactual pools (use the training split);
+/// `embeddings` feed CREW's semantic knowledge.
+std::vector<std::unique_ptr<Explainer>> BuildExplainerSuite(
+    std::shared_ptr<const EmbeddingStore> embeddings, const Dataset& support,
+    const ExplainerSuiteConfig& config);
+
+/// Picks up to `n` indices of labeled test pairs, balanced between pairs
+/// the *matcher* predicts as match and as non-match (explanations are about
+/// predictions, not gold labels).
+std::vector<int> SelectExplainInstances(const Matcher& matcher,
+                                        const Dataset& test, int n, Rng& rng);
+
+/// Per-explainer aggregate over a set of explained instances.
+struct ExplainerAggregate {
+  std::string name;
+  int instances = 0;
+  // Faithfulness (higher comprehensiveness/AOPC better; lower suff better).
+  double aopc = 0.0;
+  double comprehensiveness_at_1 = 0.0;
+  double comprehensiveness_at_3 = 0.0;
+  double sufficiency_at_1 = 0.0;
+  double sufficiency_at_3 = 0.0;
+  double comprehensiveness_budget5 = 0.0;  ///< equal-token (5 words) budget
+  double decision_flip_rate = 0.0;
+  // Comprehensibility.
+  double total_units = 0.0;
+  double effective_units = 0.0;
+  double words_per_unit = 0.0;
+  double semantic_coherence = 0.0;
+  double attribute_purity = 0.0;
+  // Bookkeeping.
+  double surrogate_r2 = 0.0;
+  double runtime_ms = 0.0;
+};
+
+/// Explains each selected pair and averages all metrics. CREW is detected
+/// dynamically so its cluster units are evaluated as units; every other
+/// explainer contributes singleton (word) units.
+/// `per_instance_aopc` (optional) receives one AOPC value per evaluated
+/// instance, in `instance_indices` order — the paired samples the
+/// significance tests (PairedBootstrap) consume.
+Result<ExplainerAggregate> EvaluateExplainerOnDataset(
+    const Explainer& explainer, const Matcher& matcher, const Dataset& test,
+    const std::vector<int>& instance_indices,
+    const EmbeddingStore* embeddings, uint64_t seed,
+    std::vector<double>* per_instance_aopc = nullptr);
+
+/// Unitizes one explanation: CREW -> clusters, everything else ->
+/// one-word units. Returns the word explanation plus the units.
+Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
+ExplainAsUnits(const Explainer& explainer, const Matcher& matcher,
+               const RecordPair& pair, uint64_t seed);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_EXPERIMENT_H_

@@ -1,0 +1,178 @@
+#include "crew/eval/faithfulness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+namespace {
+
+// Deletes the units listed in `unit_indices` and returns the matcher score.
+double ScoreWithoutUnits(const Matcher& matcher, const EvalInstance& instance,
+                         const std::vector<int>& unit_indices) {
+  std::vector<bool> keep(instance.view.size(), true);
+  for (int u : unit_indices) {
+    for (int i : instance.units[u].member_indices) keep[i] = false;
+  }
+  return matcher.PredictProba(instance.view.Materialize(keep));
+}
+
+// Keeps ONLY the units listed; every other token is deleted.
+double ScoreWithOnlyUnits(const Matcher& matcher, const EvalInstance& instance,
+                          const std::vector<int>& unit_indices) {
+  std::vector<bool> keep(instance.view.size(), false);
+  for (int u : unit_indices) {
+    for (int i : instance.units[u].member_indices) keep[i] = true;
+  }
+  return matcher.PredictProba(instance.view.Materialize(keep));
+}
+
+}  // namespace
+
+double PredictedClassProb(double score, bool predicted_match) {
+  return predicted_match ? score : 1.0 - score;
+}
+
+std::vector<int> EvalInstance::RankUnitsBySupport() const {
+  const bool match = PredictedMatch();
+  std::vector<int> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return match ? units[a].weight > units[b].weight
+                 : units[a].weight < units[b].weight;
+  });
+  return order;
+}
+
+double ComprehensivenessAtK(const Matcher& matcher,
+                            const EvalInstance& instance, int k) {
+  if (instance.units.empty()) return 0.0;
+  const auto ranked = instance.RankUnitsBySupport();
+  k = std::min<int>(k, static_cast<int>(ranked.size()));
+  const std::vector<int> top(ranked.begin(), ranked.begin() + k);
+  const double after = ScoreWithoutUnits(matcher, instance, top);
+  const bool match = instance.PredictedMatch();
+  return PredictedClassProb(instance.base_score, match) -
+         PredictedClassProb(after, match);
+}
+
+double SufficiencyAtK(const Matcher& matcher, const EvalInstance& instance,
+                      int k) {
+  if (instance.units.empty()) return 0.0;
+  const auto ranked = instance.RankUnitsBySupport();
+  k = std::min<int>(k, static_cast<int>(ranked.size()));
+  const std::vector<int> top(ranked.begin(), ranked.begin() + k);
+  const double after = ScoreWithOnlyUnits(matcher, instance, top);
+  const bool match = instance.PredictedMatch();
+  return PredictedClassProb(instance.base_score, match) -
+         PredictedClassProb(after, match);
+}
+
+double AopcDeletion(const Matcher& matcher, const EvalInstance& instance,
+                    int max_k) {
+  if (instance.units.empty()) return 0.0;
+  const int kk = std::min<int>(max_k, static_cast<int>(instance.units.size()));
+  if (kk <= 0) return 0.0;
+  double total = 0.0;
+  for (int k = 1; k <= kk; ++k) {
+    total += ComprehensivenessAtK(matcher, instance, k);
+  }
+  return total / static_cast<double>(kk);
+}
+
+double AopcInsertion(const Matcher& matcher, const EvalInstance& instance,
+                     int max_k) {
+  if (instance.units.empty()) return 0.0;
+  const int kk = std::min<int>(max_k, static_cast<int>(instance.units.size()));
+  if (kk <= 0) return 0.0;
+  const auto ranked = instance.RankUnitsBySupport();
+  const bool match = instance.PredictedMatch();
+  const double empty = PredictedClassProb(
+      matcher.PredictProba(
+          instance.view.Materialize(std::vector<bool>(instance.view.size(),
+                                                      false))),
+      match);
+  double total = 0.0;
+  std::vector<int> inserted;
+  for (int k = 1; k <= kk; ++k) {
+    inserted.push_back(ranked[k - 1]);
+    const double with_top =
+        PredictedClassProb(ScoreWithOnlyUnits(matcher, instance, inserted),
+                           match);
+    total += with_top - empty;
+  }
+  return total / static_cast<double>(kk);
+}
+
+double ComprehensivenessAtTokenBudget(const Matcher& matcher,
+                                      const EvalInstance& instance,
+                                      int token_budget) {
+  if (instance.units.empty() || token_budget <= 0) return 0.0;
+  const auto ranked = instance.RankUnitsBySupport();
+  std::vector<int> selected;
+  int removed_tokens = 0;
+  for (int u : ranked) {
+    selected.push_back(u);
+    removed_tokens +=
+        static_cast<int>(instance.units[u].member_indices.size());
+    if (removed_tokens >= token_budget) break;
+  }
+  const double after = ScoreWithoutUnits(matcher, instance, selected);
+  const bool match = instance.PredictedMatch();
+  return PredictedClassProb(instance.base_score, match) -
+         PredictedClassProb(after, match);
+}
+
+bool DecisionFlipAtTop(const Matcher& matcher, const EvalInstance& instance) {
+  if (instance.units.empty()) return false;
+  const auto ranked = instance.RankUnitsBySupport();
+  const double after = ScoreWithoutUnits(matcher, instance, {ranked[0]});
+  return (after >= instance.threshold) != instance.PredictedMatch();
+}
+
+FlipSetResult MinimalFlipSet(const Matcher& matcher,
+                             const EvalInstance& instance) {
+  FlipSetResult result;
+  if (instance.units.empty()) return result;
+  const auto ranked = instance.RankUnitsBySupport();
+  const bool predicted_match = instance.PredictedMatch();
+  std::vector<int> selected;
+  for (int u : ranked) {
+    selected.push_back(u);
+    result.units_removed = static_cast<int>(selected.size());
+    result.tokens_removed +=
+        static_cast<int>(instance.units[u].member_indices.size());
+    const double after = ScoreWithoutUnits(matcher, instance, selected);
+    if ((after >= instance.threshold) != predicted_match) {
+      result.flipped = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<double> DeletionCurve(const Matcher& matcher,
+                                  const EvalInstance& instance,
+                                  const std::vector<double>& fractions) {
+  std::vector<double> curve;
+  curve.reserve(fractions.size());
+  const auto ranked = instance.RankUnitsBySupport();
+  const bool match = instance.PredictedMatch();
+  const int n = static_cast<int>(ranked.size());
+  for (double f : fractions) {
+    const int k = std::min(
+        n, static_cast<int>(std::ceil(f * static_cast<double>(n) - 1e-12)));
+    if (k <= 0) {
+      curve.push_back(PredictedClassProb(instance.base_score, match));
+      continue;
+    }
+    const std::vector<int> top(ranked.begin(), ranked.begin() + k);
+    curve.push_back(
+        PredictedClassProb(ScoreWithoutUnits(matcher, instance, top), match));
+  }
+  return curve;
+}
+
+}  // namespace crew

@@ -1,0 +1,84 @@
+#ifndef CREW_EVAL_FAITHFULNESS_H_
+#define CREW_EVAL_FAITHFULNESS_H_
+
+#include <vector>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/explain/token_view.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// Probability assigned to the *predicted* class: score when the model says
+/// match, 1 - score otherwise. All faithfulness metrics are drops of this
+/// quantity, so they are comparable across match and non-match pairs.
+double PredictedClassProb(double score, bool predicted_match);
+
+/// One explanation instance prepared for unit-level faithfulness metrics.
+struct EvalInstance {
+  PairTokenView view;
+  std::vector<ExplanationUnit> units;  ///< any order; metrics rank internally
+  double base_score = 0.0;
+  double threshold = 0.5;
+
+  bool PredictedMatch() const { return base_score >= threshold; }
+
+  /// Unit indices sorted by decreasing support for the predicted class.
+  std::vector<int> RankUnitsBySupport() const;
+};
+
+/// Drop in predicted-class probability after deleting the top-k supporting
+/// units ("comprehensiveness", DeYoung et al.). Higher = more faithful.
+double ComprehensivenessAtK(const Matcher& matcher,
+                            const EvalInstance& instance, int k);
+
+/// Drop in predicted-class probability when keeping ONLY the top-k
+/// supporting units. Lower = the top units suffice = more faithful.
+double SufficiencyAtK(const Matcher& matcher, const EvalInstance& instance,
+                      int k);
+
+/// Mean of ComprehensivenessAtK for k = 1..min(max_k, #units): the
+/// Area-Over-the-Perturbation-Curve deletion score (Samek et al.).
+double AopcDeletion(const Matcher& matcher, const EvalInstance& instance,
+                    int max_k);
+
+/// Insertion counterpart: starting from the fully-deleted pair, re-insert
+/// the top-k supporting units and measure how much predicted-class
+/// probability is *recovered* relative to the empty pair. Higher = the
+/// explanation's top units rebuild the decision. Mean over k = 1..max_k.
+double AopcInsertion(const Matcher& matcher, const EvalInstance& instance,
+                     int max_k);
+
+/// Comprehensiveness when deleting supporting units until at least
+/// `token_budget` words have been removed — an equal-token comparison that
+/// does not favour multi-word units.
+double ComprehensivenessAtTokenBudget(const Matcher& matcher,
+                                      const EvalInstance& instance,
+                                      int token_budget);
+
+/// True if deleting the top supporting unit flips the predicted class.
+bool DecisionFlipAtTop(const Matcher& matcher, const EvalInstance& instance);
+
+/// Greedy counterfactual size: units are removed in support order until
+/// the predicted class flips (or everything is gone).
+struct FlipSetResult {
+  bool flipped = false;
+  int units_removed = 0;   ///< units needed to flip (all units if !flipped)
+  int tokens_removed = 0;  ///< words those units contained
+};
+
+/// Smaller flip sets mean the explanation isolates the decisive evidence —
+/// CERTA's counterfactual view of faithfulness.
+FlipSetResult MinimalFlipSet(const Matcher& matcher,
+                             const EvalInstance& instance);
+
+/// Predicted-class probability after removing the top ceil(f * #units)
+/// supporting units, for each fraction f in `fractions` (the F1 deletion
+/// curve). fraction 0 returns the base predicted-class probability.
+std::vector<double> DeletionCurve(const Matcher& matcher,
+                                  const EvalInstance& instance,
+                                  const std::vector<double>& fractions);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_FAITHFULNESS_H_

@@ -1,0 +1,70 @@
+#include "crew/eval/global_explanation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace crew {
+
+Result<GlobalExplanation> BuildGlobalExplanation(
+    const Explainer& explainer, const Matcher& matcher,
+    const Dataset& dataset, const std::vector<int>& instance_indices,
+    uint64_t seed, int min_occurrences) {
+  GlobalExplanation global;
+  struct TokenAcc {
+    int n = 0;
+    double sum = 0.0;
+    double sum_abs = 0.0;
+  };
+  std::map<std::string, TokenAcc> token_acc;
+  std::map<int, double> attribute_acc;
+  double total_mass = 0.0;
+
+  for (int idx : instance_indices) {
+    auto explanation =
+        explainer.Explain(matcher, dataset.pair(idx),
+                          seed ^ (static_cast<uint64_t>(idx) << 16));
+    if (!explanation.ok()) return explanation.status();
+    for (const auto& a : explanation.value().attributions) {
+      TokenAcc& acc = token_acc[a.token.text];
+      ++acc.n;
+      acc.sum += a.weight;
+      acc.sum_abs += std::fabs(a.weight);
+      attribute_acc[a.token.attribute] += std::fabs(a.weight);
+      total_mass += std::fabs(a.weight);
+    }
+    ++global.instances;
+  }
+
+  for (const auto& [text, acc] : token_acc) {
+    if (acc.n < min_occurrences) continue;
+    GlobalTokenStat stat;
+    stat.token = text;
+    stat.occurrences = acc.n;
+    stat.mean_weight = acc.sum / acc.n;
+    stat.mean_abs_weight = acc.sum_abs / acc.n;
+    global.tokens.push_back(std::move(stat));
+  }
+  std::sort(global.tokens.begin(), global.tokens.end(),
+            [](const GlobalTokenStat& a, const GlobalTokenStat& b) {
+              return a.mean_abs_weight > b.mean_abs_weight;
+            });
+
+  for (const auto& [attribute, mass] : attribute_acc) {
+    GlobalAttributeStat stat;
+    stat.attribute = attribute;
+    stat.name = attribute < dataset.schema().size()
+                    ? dataset.schema().name(attribute)
+                    : "attr" + std::to_string(attribute);
+    stat.total_abs_weight = mass;
+    stat.share = total_mass > 0.0 ? mass / total_mass : 0.0;
+    global.attributes.push_back(std::move(stat));
+  }
+  std::sort(global.attributes.begin(), global.attributes.end(),
+            [](const GlobalAttributeStat& a, const GlobalAttributeStat& b) {
+              return a.share > b.share;
+            });
+  return global;
+}
+
+}  // namespace crew

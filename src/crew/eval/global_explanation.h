@@ -1,0 +1,47 @@
+#ifndef CREW_EVAL_GLOBAL_EXPLANATION_H_
+#define CREW_EVAL_GLOBAL_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/data/dataset.h"
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// Dataset-level ("global") explanation: aggregates local word
+/// attributions over many explained pairs to answer "what does the model
+/// look at overall?" — the standard way local explainers are lifted to a
+/// model-audit view (SP-LIME's simpler sibling).
+struct GlobalTokenStat {
+  std::string token;
+  int occurrences = 0;
+  double mean_weight = 0.0;        ///< signed: direction of influence
+  double mean_abs_weight = 0.0;    ///< magnitude of influence
+};
+
+struct GlobalAttributeStat {
+  int attribute = 0;
+  std::string name;
+  double total_abs_weight = 0.0;
+  double share = 0.0;  ///< fraction of all attribution mass
+};
+
+struct GlobalExplanation {
+  std::vector<GlobalTokenStat> tokens;        ///< by mean_abs_weight desc
+  std::vector<GlobalAttributeStat> attributes;  ///< by share desc
+  int instances = 0;
+};
+
+/// Builds the aggregate over `instance_indices` of `dataset`, explaining
+/// each pair with `explainer`. Token stats are keyed by token text; a
+/// token must appear in at least `min_occurrences` explanations to be
+/// reported (rare-token noise floor).
+Result<GlobalExplanation> BuildGlobalExplanation(
+    const Explainer& explainer, const Matcher& matcher,
+    const Dataset& dataset, const std::vector<int>& instance_indices,
+    uint64_t seed, int min_occurrences = 2);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_GLOBAL_EXPLANATION_H_

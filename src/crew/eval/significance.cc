@@ -1,0 +1,44 @@
+#include "crew/eval/significance.h"
+
+#include <algorithm>
+
+#include "crew/common/rng.h"
+#include "crew/la/stats.h"
+
+namespace crew {
+
+Result<BootstrapComparison> PairedBootstrap(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            int resamples, uint64_t seed) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("PairedBootstrap: size mismatch");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("PairedBootstrap: need >= 2 pairs");
+  }
+  if (resamples < 10) {
+    return Status::InvalidArgument("PairedBootstrap: too few resamples");
+  }
+  const int n = static_cast<int>(a.size());
+  std::vector<double> diffs(n);
+  for (int i = 0; i < n; ++i) diffs[i] = a[i] - b[i];
+
+  BootstrapComparison out;
+  out.mean_difference = la::Mean(diffs);
+
+  Rng rng(seed);
+  std::vector<double> means(resamples);
+  int non_positive = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += diffs[rng.UniformInt(n)];
+    means[r] = sum / n;
+    if (means[r] <= 0.0) ++non_positive;
+  }
+  out.ci_low = la::Percentile(means, 2.5);
+  out.ci_high = la::Percentile(means, 97.5);
+  out.p_value = static_cast<double>(non_positive) / resamples;
+  return out;
+}
+
+}  // namespace crew

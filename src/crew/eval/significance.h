@@ -1,0 +1,34 @@
+#ifndef CREW_EVAL_SIGNIFICANCE_H_
+#define CREW_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crew/common/status.h"
+
+namespace crew {
+
+/// Paired bootstrap comparison of two per-instance metric vectors (e.g.
+/// AOPC of explainer A vs B on the same explained pairs).
+struct BootstrapComparison {
+  double mean_difference = 0.0;  ///< mean(a - b)
+  double ci_low = 0.0;           ///< percentile CI of the mean difference
+  double ci_high = 0.0;
+  /// Fraction of bootstrap resamples where mean(a - b) <= 0; a one-sided
+  /// p-value for "A is better than B" when higher metric = better.
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha) const { return p_value < alpha; }
+};
+
+/// `a` and `b` must be the same length (>= 2): paired per-instance scores.
+/// `resamples` bootstrap iterations with replacement; deterministic given
+/// `seed`.
+Result<BootstrapComparison> PairedBootstrap(const std::vector<double>& a,
+                                            const std::vector<double>& b,
+                                            int resamples = 2000,
+                                            uint64_t seed = 97);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,45 @@
+#include "crew/eval/stability.h"
+
+#include <unordered_set>
+
+namespace crew {
+
+double TopKJaccard(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  int inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t) > 0) ++inter;
+  }
+  const int uni = static_cast<int>(sa.size() + sb.size()) - inter;
+  return uni > 0 ? static_cast<double>(inter) / uni : 1.0;
+}
+
+Result<double> ExplainerStability(const Explainer& explainer,
+                                  const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  const std::vector<uint64_t>& seeds, int k) {
+  if (seeds.size() < 2) {
+    return Status::InvalidArgument("ExplainerStability: need >= 2 seeds");
+  }
+  std::vector<std::vector<std::string>> tops;
+  tops.reserve(seeds.size());
+  for (uint64_t seed : seeds) {
+    auto explanation = explainer.Explain(matcher, pair, seed);
+    if (!explanation.ok()) return explanation.status();
+    tops.push_back(explanation.value().TopTokens(k));
+  }
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < tops.size(); ++i) {
+    for (size_t j = i + 1; j < tops.size(); ++j) {
+      total += TopKJaccard(tops[i], tops[j]);
+      ++count;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace crew

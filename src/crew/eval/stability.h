@@ -1,0 +1,26 @@
+#ifndef CREW_EVAL_STABILITY_H_
+#define CREW_EVAL_STABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/common/status.h"
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// Jaccard similarity of two top-k token lists (as sets of token texts).
+double TopKJaccard(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b);
+
+/// Re-runs `explainer` on the same pair with each seed and returns the mean
+/// pairwise TopKJaccard of the top-k token sets — the standard sampling
+/// stability measure for perturbation explainers.
+Result<double> ExplainerStability(const Explainer& explainer,
+                                  const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  const std::vector<uint64_t>& seeds, int k);
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_STABILITY_H_

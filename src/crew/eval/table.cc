@@ -1,0 +1,72 @@
+#include "crew/eval/table.h"
+
+#include <algorithm>
+
+#include "crew/common/logging.h"
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+void Table::AddRow(std::vector<std::string> row) {
+  CREW_CHECK(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double v, int precision) {
+  return StrPrintf("%.*f", precision, v);
+}
+
+std::string Table::ToAligned() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      if (c + 1 < row.size()) {
+        line.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = emit_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < widths.size()) rule.append(2, ' ');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string Table::ToMarkdown() const {
+  auto emit = [](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (const auto& cell : row) {
+      line += " " + cell + " |";
+    }
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = emit(headers_);
+  std::string rule = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) rule += " --- |";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+std::string Table::ToTsv() const {
+  std::string out = Join(headers_, "\t") + "\n";
+  for (const auto& row : rows_) out += Join(row, "\t") + "\n";
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,39 @@
+#ifndef CREW_EVAL_TABLE_H_
+#define CREW_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace crew {
+
+/// Tiny result-table builder used by every bench binary so tables and
+/// figures print in a consistent, diffable format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  /// Fixed-width aligned text (primary console output).
+  std::string ToAligned() const;
+
+  /// GitHub-flavoured markdown.
+  std::string ToMarkdown() const;
+
+  /// Tab-separated values (for plotting scripts).
+  std::string ToTsv() const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_TABLE_H_

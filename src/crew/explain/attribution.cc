@@ -1,0 +1,40 @@
+#include "crew/explain/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace crew {
+
+std::vector<int> WordExplanation::RankedByMagnitude() const {
+  std::vector<int> order(attributions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs(attributions[a].weight) >
+           std::fabs(attributions[b].weight);
+  });
+  return order;
+}
+
+std::vector<int> WordExplanation::RankedBySupport(double threshold) const {
+  const bool predicted_match = base_score >= threshold;
+  std::vector<int> order(attributions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return predicted_match
+               ? attributions[a].weight > attributions[b].weight
+               : attributions[a].weight < attributions[b].weight;
+  });
+  return order;
+}
+
+std::vector<std::string> WordExplanation::TopTokens(int k) const {
+  std::vector<std::string> out;
+  for (int idx : RankedByMagnitude()) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back(attributions[idx].token.text);
+  }
+  return out;
+}
+
+}  // namespace crew

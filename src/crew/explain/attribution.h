@@ -1,0 +1,57 @@
+#ifndef CREW_EXPLAIN_ATTRIBUTION_H_
+#define CREW_EXPLAIN_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/common/status.h"
+#include "crew/explain/token_view.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// One word unit's contribution to the match probability. Positive weights
+/// push toward "match", negative toward "non-match".
+struct WordAttribution {
+  TokenRef token;
+  double weight = 0.0;
+};
+
+/// Word-level explanation of one prediction (the common currency between
+/// every baseline explainer, CREW's importance stage, and the evaluation
+/// metrics).
+struct WordExplanation {
+  std::vector<WordAttribution> attributions;
+  double base_score = 0.0;    ///< matcher score on the unperturbed pair
+  double surrogate_r2 = 0.0;  ///< surrogate fit quality, if applicable
+  double runtime_ms = 0.0;
+
+  /// Indices of attributions sorted by decreasing |weight|.
+  std::vector<int> RankedByMagnitude() const;
+
+  /// Indices sorted by decreasing support for the *predicted* class
+  /// (descending weight when base_score >= threshold, ascending otherwise).
+  std::vector<int> RankedBySupport(double threshold = 0.5) const;
+
+  /// The `k` token texts with largest |weight| (for stability metrics).
+  std::vector<std::string> TopTokens(int k) const;
+};
+
+/// Model-agnostic post-hoc explainer interface. Implementations may only
+/// interact with the matcher through Matcher::PredictProba.
+class Explainer {
+ public:
+  virtual ~Explainer() = default;
+
+  /// Explains `matcher`'s prediction on `pair`. `seed` makes the sampling
+  /// deterministic; re-running with a different seed measures stability.
+  virtual Result<WordExplanation> Explain(const Matcher& matcher,
+                                          const RecordPair& pair,
+                                          uint64_t seed) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_ATTRIBUTION_H_

@@ -1,0 +1,69 @@
+#include "crew/explain/certa.h"
+
+#include <unordered_set>
+
+#include "crew/common/timer.h"
+#include "crew/explain/token_view.h"
+
+namespace crew {
+
+CertaExplainer::CertaExplainer(const Dataset& support, CertaConfig config)
+    : config_(config) {
+  Tokenizer tokenizer;
+  const Schema& schema = support.schema();
+  std::vector<std::unordered_set<std::string>> seen(schema.size());
+  attribute_pools_.resize(schema.size());
+  for (const auto& pair : support.pairs()) {
+    for (Side side : {Side::kLeft, Side::kRight}) {
+      for (int a = 0; a < schema.size(); ++a) {
+        for (const auto& tok :
+             tokenizer.Tokenize(pair.side(side).values[a])) {
+          if (seen[a].insert(tok).second) {
+            attribute_pools_[a].push_back(tok);
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<WordExplanation> CertaExplainer::Explain(const Matcher& matcher,
+                                                const RecordPair& pair,
+                                                uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  if (static_cast<int>(attribute_pools_.size()) <
+      static_cast<int>(pair.left.values.size())) {
+    return Status::InvalidArgument(
+        "CertaExplainer: support schema narrower than the explained pair");
+  }
+
+  Rng rng(seed);
+  out.attributions.reserve(view.size());
+  for (int i = 0; i < view.size(); ++i) {
+    const TokenRef& ref = view.token(i);
+    const auto& pool = attribute_pools_[ref.attribute];
+    double weight = 0.0;
+    if (!pool.empty() && config_.substitutions_per_token > 0) {
+      double sum = 0.0;
+      int used = 0;
+      for (int s = 0; s < config_.substitutions_per_token; ++s) {
+        const std::string& replacement =
+            pool[rng.UniformInt(static_cast<int>(pool.size()))];
+        if (replacement == ref.text) continue;
+        sum += matcher.PredictProba(
+            view.MaterializeWithSubstitution(i, replacement));
+        ++used;
+      }
+      if (used > 0) weight = out.base_score - sum / used;
+    }
+    out.attributions.push_back({ref, weight});
+  }
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace crew

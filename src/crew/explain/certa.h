@@ -1,0 +1,47 @@
+#ifndef CREW_EXPLAIN_CERTA_H_
+#define CREW_EXPLAIN_CERTA_H_
+
+#include <memory>
+#include <vector>
+
+#include "crew/data/dataset.h"
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+struct CertaConfig {
+  /// Counterfactual substitutions drawn per token.
+  int substitutions_per_token = 8;
+};
+
+/// CERTA-lite: counterfactual-substitution saliency.
+///
+/// Full CERTA (Teofili et al. 2022) builds counterfactual records from
+/// "open triangles" in the candidate graph. This lite version keeps the
+/// core signal — how the prediction moves when a token is replaced by
+/// plausible alternatives from the *same attribute* of other records —
+/// using the support dataset's per-attribute vocabulary as the
+/// counterfactual pool:
+///   saliency(t) = base_score - mean over substitutions s of score(pair
+///   with t := s).
+class CertaExplainer : public Explainer {
+ public:
+  /// `support` supplies the per-attribute counterfactual vocabulary;
+  /// typically the matcher's training split.
+  CertaExplainer(const Dataset& support, CertaConfig config = CertaConfig());
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "certa"; }
+
+ private:
+  CertaConfig config_;
+  /// attribute index -> distinct tokens observed under that attribute.
+  std::vector<std::vector<std::string>> attribute_pools_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_CERTA_H_

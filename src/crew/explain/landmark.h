@@ -1,0 +1,50 @@
+#ifndef CREW_EXPLAIN_LANDMARK_H_
+#define CREW_EXPLAIN_LANDMARK_H_
+
+#include "crew/explain/attribution.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+/// When the Landmark injection trick is applied.
+enum class LandmarkInjection {
+  kNever,
+  /// Only when the model predicts non-match — the case the Landmark paper
+  /// targets: with no shared tokens, pure drops cannot create match
+  /// evidence, so the landmark's tokens are offered for injection.
+  kAuto,
+  kAlways,
+};
+
+struct LandmarkConfig {
+  PerturbationConfig perturbation;  ///< samples are split across the 2 runs
+  double ridge_lambda = 1.0;
+  LandmarkInjection injection = LandmarkInjection::kAuto;
+  /// Per-token probability that a landmark token is injected in a sample.
+  double injection_probability = 0.3;
+};
+
+/// Landmark Explanation (Baraldi et al. 2021): explains each record
+/// separately, holding the *other* record fixed as the landmark. Tokens of
+/// the explained record are dropped LIME-style; optionally the landmark's
+/// tokens are injected into the explained record so that non-match pairs
+/// can also produce positive evidence. The two per-side surrogates are
+/// concatenated into one word-level explanation.
+class LandmarkExplainer : public Explainer {
+ public:
+  explicit LandmarkExplainer(LandmarkConfig config = LandmarkConfig())
+      : config_(config) {}
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "landmark"; }
+
+ private:
+  LandmarkConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_LANDMARK_H_

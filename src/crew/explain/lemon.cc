@@ -1,0 +1,86 @@
+#include "crew/explain/lemon.h"
+
+#include <cmath>
+
+#include "crew/common/timer.h"
+#include "crew/la/ridge.h"
+
+namespace crew {
+
+Result<WordExplanation> LemonExplainer::Explain(const Matcher& matcher,
+                                                const RecordPair& pair,
+                                                uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  if (view.size() == 0) {
+    out.runtime_ms = timer.ElapsedMillis();
+    return out;
+  }
+  out.attributions.resize(view.size());
+  for (int i = 0; i < view.size(); ++i) {
+    out.attributions[i] = {view.token(i), 0.0};
+  }
+
+  Rng rng(seed);
+  double r2_sum = 0.0;
+  int r2_count = 0;
+  const int samples_per_side =
+      std::max(8, config_.perturbation.num_samples / 2);
+
+  for (Side side : {Side::kLeft, Side::kRight}) {
+    const std::vector<int> own = view.IndicesOnSide(side);
+    if (own.empty()) continue;
+    const int m = static_cast<int>(own.size());
+    // Feature layout: [0, m) keep indicators, [m, 2m) inject indicators
+    // (own token counterfactually copied into the other record).
+    const int f_count = 2 * m;
+    const int n = samples_per_side;
+    la::Matrix x(n, f_count);
+    la::Vec y(n), w(n);
+    std::vector<int> pool = own;
+    for (int s = 0; s < n; ++s) {
+      std::vector<bool> keep(view.size(), true);
+      std::vector<bool> injected(view.size(), false);
+      const int n_remove = rng.UniformInt(m + 1);  // 0 drops allowed: pure
+                                                   // injection samples
+      for (int i = 0; i < n_remove; ++i) {
+        const int j = i + rng.UniformInt(m - i);
+        std::swap(pool[i], pool[j]);
+        keep[pool[i]] = false;
+      }
+      for (int j = 0; j < m; ++j) {
+        x.At(s, j) = keep[own[j]] ? 1.0 : 0.0;
+        // A dropped token cannot simultaneously be copied: LEMON's
+        // interpretable space treats the token as absent entirely.
+        if (keep[own[j]] && rng.Bernoulli(config_.injection_probability)) {
+          injected[own[j]] = true;
+          x.At(s, m + j) = 1.0;
+        }
+      }
+      const double removed_fraction =
+          static_cast<double>(n_remove) / static_cast<double>(m);
+      const double kw = config_.perturbation.kernel_width;
+      w[s] = std::exp(-(removed_fraction * removed_fraction) / (kw * kw));
+      y[s] = matcher.PredictProba(
+          view.MaterializeWithInjection(keep, injected));
+    }
+    la::RidgeModel model;
+    CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
+    r2_sum += model.r2;
+    ++r2_count;
+    for (int j = 0; j < m; ++j) {
+      const double drop_coef = model.coefficients[j];
+      const double inject_coef = model.coefficients[m + j];
+      out.attributions[own[j]].weight =
+          drop_coef + config_.potential_weight * inject_coef;
+    }
+  }
+  out.surrogate_r2 = r2_count > 0 ? r2_sum / r2_count : 0.0;
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace crew

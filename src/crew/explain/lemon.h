@@ -1,0 +1,45 @@
+#ifndef CREW_EXPLAIN_LEMON_H_
+#define CREW_EXPLAIN_LEMON_H_
+
+#include "crew/explain/attribution.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+struct LemonConfig {
+  PerturbationConfig perturbation;  ///< samples are split across the 2 runs
+  double ridge_lambda = 1.0;
+  /// Per-token probability of the counterfactual copy in a sample.
+  double injection_probability = 0.3;
+  /// Weight of the attribution-potential term in the final word weight.
+  double potential_weight = 0.5;
+};
+
+/// LEMON (Barlaug 2022), simplified to its three core mechanisms:
+///  1. dual explanations — each record is explained against the other;
+///  2. counterfactual token injection — besides dropping a token, LEMON
+///     asks "what if this token also occurred in the other record?" and
+///     fits an *attribution potential* coefficient for it;
+///  3. the reported word weight blends the drop effect and the potential:
+///     weight = drop_coef + potential_weight * inject_coef.
+/// This captures LEMON's headline property: tokens that would flip a
+/// non-match to a match get strong attributions even though dropping them
+/// changes nothing.
+class LemonExplainer : public Explainer {
+ public:
+  explicit LemonExplainer(LemonConfig config = LemonConfig())
+      : config_(config) {}
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "lemon"; }
+
+ private:
+  LemonConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_LEMON_H_

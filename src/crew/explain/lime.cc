@@ -1,0 +1,40 @@
+#include "crew/explain/lime.h"
+
+#include <numeric>
+
+#include "crew/common/timer.h"
+
+namespace crew {
+
+Result<WordExplanation> LimeExplainer::Explain(const Matcher& matcher,
+                                               const RecordPair& pair,
+                                               uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  if (view.size() == 0) {
+    out.runtime_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  std::vector<int> perturbable(view.size());
+  std::iota(perturbable.begin(), perturbable.end(), 0);
+  Rng rng(seed);
+  const auto samples = SampleTokenDrops(matcher, view, perturbable,
+                                        config_.perturbation, rng);
+  SurrogateFit fit;
+  CREW_RETURN_IF_ERROR(FitKeepMaskSurrogate(samples, perturbable,
+                                            config_.ridge_lambda, &fit));
+
+  out.attributions.reserve(view.size());
+  for (int i = 0; i < view.size(); ++i) {
+    out.attributions.push_back({view.token(i), fit.coefficients[i]});
+  }
+  out.surrogate_r2 = fit.r2;
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,36 @@
+#ifndef CREW_EXPLAIN_LIME_H_
+#define CREW_EXPLAIN_LIME_H_
+
+#include "crew/explain/attribution.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+struct LimeConfig {
+  PerturbationConfig perturbation;
+  double ridge_lambda = 1.0;
+};
+
+/// LIME (Ribeiro et al. 2016) applied to the serialized record pair:
+/// token-drop perturbations over *all* tokens of both records, an
+/// exponential-kernel-weighted ridge surrogate, coefficients as word
+/// attributions. The schema-agnostic baseline the EM-specific explainers
+/// improve upon.
+class LimeExplainer : public Explainer {
+ public:
+  explicit LimeExplainer(LimeConfig config = LimeConfig())
+      : config_(config) {}
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "lime"; }
+
+ private:
+  LimeConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_LIME_H_

@@ -1,0 +1,150 @@
+#include "crew/explain/mojito.h"
+
+#include <cmath>
+
+#include "crew/common/timer.h"
+#include "crew/la/ridge.h"
+
+namespace crew {
+
+Result<WordExplanation> MojitoExplainer::Explain(const Matcher& matcher,
+                                                 const RecordPair& pair,
+                                                 uint64_t seed) const {
+  return config_.mode == MojitoMode::kDrop ? ExplainDrop(matcher, pair, seed)
+                                           : ExplainCopy(matcher, pair, seed);
+}
+
+Result<WordExplanation> MojitoExplainer::ExplainDrop(const Matcher& matcher,
+                                                     const RecordPair& pair,
+                                                     uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  const Schema schema = AnonymousSchema(pair);
+  PairTokenView view(schema, tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  if (view.size() == 0) {
+    out.runtime_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  // Token indices grouped per attribute (both sides together: Mojito
+  // perturbs the attribute, wherever its tokens live).
+  std::vector<std::vector<int>> by_attribute(schema.size());
+  for (int i = 0; i < view.size(); ++i) {
+    by_attribute[view.token(i).attribute].push_back(i);
+  }
+  std::vector<int> nonempty;
+  for (int a = 0; a < schema.size(); ++a) {
+    if (!by_attribute[a].empty()) nonempty.push_back(a);
+  }
+
+  Rng rng(seed);
+  std::vector<PerturbationSample> samples;
+  samples.reserve(config_.perturbation.num_samples);
+  for (int s = 0; s < config_.perturbation.num_samples; ++s) {
+    PerturbationSample sample;
+    sample.keep.assign(view.size(), true);
+    // Perturb a random attribute: drop a uniform non-empty subset of its
+    // tokens. This keeps small structured attributes as exercised as long
+    // description fields.
+    const int a = nonempty[rng.UniformInt(static_cast<int>(nonempty.size()))];
+    const auto& group = by_attribute[a];
+    const int m = static_cast<int>(group.size());
+    const int n_remove = 1 + rng.UniformInt(m);
+    std::vector<int> pool = group;
+    int removed = 0;
+    for (int i = 0; i < n_remove; ++i) {
+      const int j = i + rng.UniformInt(m - i);
+      std::swap(pool[i], pool[j]);
+      sample.keep[pool[i]] = false;
+      ++removed;
+    }
+    const double removed_fraction =
+        static_cast<double>(removed) / static_cast<double>(view.size());
+    const double w = config_.perturbation.kernel_width;
+    sample.kernel_weight =
+        std::exp(-(removed_fraction * removed_fraction) / (w * w));
+    sample.score = matcher.PredictProba(view.Materialize(sample.keep));
+    samples.push_back(std::move(sample));
+  }
+
+  std::vector<int> perturbable(view.size());
+  for (int i = 0; i < view.size(); ++i) perturbable[i] = i;
+  SurrogateFit fit;
+  CREW_RETURN_IF_ERROR(FitKeepMaskSurrogate(samples, perturbable,
+                                            config_.ridge_lambda, &fit));
+  for (int i = 0; i < view.size(); ++i) {
+    out.attributions.push_back({view.token(i), fit.coefficients[i]});
+  }
+  out.surrogate_r2 = fit.r2;
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+Result<WordExplanation> MojitoExplainer::ExplainCopy(const Matcher& matcher,
+                                                     const RecordPair& pair,
+                                                     uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  const Schema schema = AnonymousSchema(pair);
+  PairTokenView view(schema, tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  const int a_count = schema.size();
+  if (view.size() == 0 || a_count == 0) {
+    out.runtime_ms = timer.ElapsedMillis();
+    return out;
+  }
+
+  // Interpretable features: copy attribute a left->right (f = a) or
+  // right->left (f = a_count + a).
+  const int f_count = 2 * a_count;
+  Rng rng(seed);
+  const int n = config_.perturbation.num_samples;
+  la::Matrix x(n, f_count);
+  la::Vec y(n), w(n, 1.0);
+  for (int s = 0; s < n; ++s) {
+    RecordPair perturbed = pair;
+    int active = 0;
+    for (int f = 0; f < f_count; ++f) {
+      // Each copy op active with probability 1/4; at least the marginal
+      // distribution keeps most samples near the original pair.
+      if (!rng.Bernoulli(0.25)) continue;
+      x.At(s, f) = 1.0;
+      ++active;
+      const int a = f % a_count;
+      if (f < a_count) {
+        perturbed.right.values[a] = pair.left.values[a];
+      } else {
+        perturbed.left.values[a] = pair.right.values[a];
+      }
+    }
+    const double frac = static_cast<double>(active) / f_count;
+    const double kw = config_.perturbation.kernel_width;
+    w[s] = std::exp(-(frac * frac) / (kw * kw));
+    y[s] = matcher.PredictProba(perturbed);
+  }
+  la::RidgeModel model;
+  CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
+  out.surrogate_r2 = model.r2;
+
+  // Attribute copy-gain -> word weights. A positive gain means making the
+  // attribute equal raises the match score, i.e. the attribute's current
+  // content pushes toward non-match; its tokens get negative weights.
+  std::vector<int> tokens_per_attr(a_count, 0);
+  for (int i = 0; i < view.size(); ++i) {
+    ++tokens_per_attr[view.token(i).attribute];
+  }
+  for (int i = 0; i < view.size(); ++i) {
+    const int a = view.token(i).attribute;
+    const double gain =
+        (model.coefficients[a] + model.coefficients[a_count + a]) / 2.0;
+    const double weight = -gain / static_cast<double>(tokens_per_attr[a]);
+    out.attributions.push_back({view.token(i), weight});
+  }
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,51 @@
+#ifndef CREW_EXPLAIN_MOJITO_H_
+#define CREW_EXPLAIN_MOJITO_H_
+
+#include "crew/explain/attribution.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+/// Mojito's two EM-aware LIME variants (Di Cicco et al. 2019):
+///  - kDrop: token-drop perturbations, but sampled *per attribute* so
+///    structured records are perturbed evenly instead of description
+///    attributes dominating;
+///  - kCopy: attribute-level perturbations that copy an attribute value
+///    from one record to the other, explaining which attributes the model
+///    reads as decisive. Attribute coefficients are distributed uniformly
+///    over the attribute's tokens to keep the word-level currency.
+enum class MojitoMode { kDrop, kCopy };
+
+struct MojitoConfig {
+  MojitoMode mode = MojitoMode::kDrop;
+  PerturbationConfig perturbation;
+  double ridge_lambda = 1.0;
+};
+
+class MojitoExplainer : public Explainer {
+ public:
+  explicit MojitoExplainer(MojitoConfig config = MojitoConfig())
+      : config_(config) {}
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override {
+    return config_.mode == MojitoMode::kDrop ? "mojito_drop" : "mojito_copy";
+  }
+
+ private:
+  Result<WordExplanation> ExplainDrop(const Matcher& matcher,
+                                      const RecordPair& pair,
+                                      uint64_t seed) const;
+  Result<WordExplanation> ExplainCopy(const Matcher& matcher,
+                                      const RecordPair& pair,
+                                      uint64_t seed) const;
+
+  MojitoConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_MOJITO_H_

@@ -1,0 +1,68 @@
+#include "crew/explain/perturbation.h"
+
+#include <cmath>
+
+#include "crew/common/logging.h"
+#include "crew/la/ridge.h"
+
+namespace crew {
+
+std::vector<PerturbationSample> SampleTokenDrops(
+    const Matcher& matcher, const PairTokenView& view,
+    const std::vector<int>& perturbable, const PerturbationConfig& config,
+    Rng& rng) {
+  std::vector<PerturbationSample> samples;
+  const int m = static_cast<int>(perturbable.size());
+  if (m == 0 || config.num_samples <= 0) return samples;
+  samples.reserve(config.num_samples);
+
+  std::vector<int> pool = perturbable;
+  for (int s = 0; s < config.num_samples; ++s) {
+    PerturbationSample sample;
+    sample.keep.assign(view.size(), true);
+    const int n_remove = 1 + rng.UniformInt(m);
+    // Partial Fisher-Yates: the first n_remove entries of pool are the
+    // removed indices.
+    for (int i = 0; i < n_remove; ++i) {
+      const int j = i + rng.UniformInt(m - i);
+      std::swap(pool[i], pool[j]);
+      sample.keep[pool[i]] = false;
+    }
+    const double removed_fraction =
+        static_cast<double>(n_remove) / static_cast<double>(m);
+    sample.kernel_weight = std::exp(-(removed_fraction * removed_fraction) /
+                                    (config.kernel_width *
+                                     config.kernel_width));
+    sample.score = matcher.PredictProba(view.Materialize(sample.keep));
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+Status FitKeepMaskSurrogate(const std::vector<PerturbationSample>& samples,
+                            const std::vector<int>& perturbable,
+                            double lambda, SurrogateFit* fit) {
+  if (samples.empty() || perturbable.empty()) {
+    return Status::InvalidArgument("FitKeepMaskSurrogate: nothing to fit");
+  }
+  const int n = static_cast<int>(samples.size());
+  const int d = static_cast<int>(perturbable.size());
+  la::Matrix x(n, d);
+  la::Vec y(n), w(n);
+  for (int i = 0; i < n; ++i) {
+    CREW_CHECK(samples[i].keep.size() >= perturbable.size());
+    for (int j = 0; j < d; ++j) {
+      x.At(i, j) = samples[i].keep[perturbable[j]] ? 1.0 : 0.0;
+    }
+    y[i] = samples[i].score;
+    w[i] = samples[i].kernel_weight;
+  }
+  la::RidgeModel model;
+  CREW_RETURN_IF_ERROR(FitRidge(x, y, w, lambda, &model));
+  fit->coefficients = model.coefficients;
+  fit->intercept = model.intercept;
+  fit->r2 = model.r2;
+  return Status::Ok();
+}
+
+}  // namespace crew

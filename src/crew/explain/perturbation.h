@@ -1,0 +1,54 @@
+#ifndef CREW_EXPLAIN_PERTURBATION_H_
+#define CREW_EXPLAIN_PERTURBATION_H_
+
+#include <vector>
+
+#include "crew/common/rng.h"
+#include "crew/common/status.h"
+#include "crew/explain/token_view.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// One perturbed sample in the interpretable (binary keep-mask) space.
+struct PerturbationSample {
+  std::vector<bool> keep;  ///< size == view.size(); always true outside the
+                           ///< perturbable subset
+  double score = 0.0;      ///< matcher score on the materialized pair
+  double kernel_weight = 1.0;
+};
+
+struct PerturbationConfig {
+  int num_samples = 256;
+  /// LIME exponential kernel width over the fraction of removed tokens:
+  /// weight = exp(-(removed/m)^2 / width^2).
+  double kernel_width = 0.75;
+};
+
+/// Draws LIME-style token-drop perturbations restricted to `perturbable`
+/// (tokens outside it are always kept), scores each materialized pair with
+/// `matcher`, and computes kernel weights. The number of removed tokens per
+/// sample is uniform on [1, |perturbable|], matching lime_text's sampler.
+std::vector<PerturbationSample> SampleTokenDrops(
+    const Matcher& matcher, const PairTokenView& view,
+    const std::vector<int>& perturbable, const PerturbationConfig& config,
+    Rng& rng);
+
+/// Weighted ridge surrogate fitted on keep-mask samples.
+struct SurrogateFit {
+  /// One coefficient per entry of `perturbable`, in the same order.
+  std::vector<double> coefficients;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// Fits score ~ ridge(keep indicators restricted to `perturbable`) with the
+/// samples' kernel weights. This is the local linear model every
+/// LIME-family explainer reads its attributions from.
+Status FitKeepMaskSurrogate(const std::vector<PerturbationSample>& samples,
+                            const std::vector<int>& perturbable,
+                            double lambda, SurrogateFit* fit);
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_PERTURBATION_H_

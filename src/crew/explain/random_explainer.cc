@@ -1,0 +1,26 @@
+#include "crew/explain/random_explainer.h"
+
+#include "crew/common/rng.h"
+#include "crew/common/timer.h"
+#include "crew/explain/token_view.h"
+
+namespace crew {
+
+Result<WordExplanation> RandomExplainer::Explain(const Matcher& matcher,
+                                                 const RecordPair& pair,
+                                                 uint64_t seed) const {
+  WallTimer timer;
+  Tokenizer tokenizer;
+  PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
+  WordExplanation out;
+  out.base_score = matcher.PredictProba(pair);
+  Rng rng(seed);
+  out.attributions.reserve(view.size());
+  for (int i = 0; i < view.size(); ++i) {
+    out.attributions.push_back({view.token(i), rng.Normal()});
+  }
+  out.runtime_ms = timer.ElapsedMillis();
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,24 @@
+#ifndef CREW_EXPLAIN_RANDOM_EXPLAINER_H_
+#define CREW_EXPLAIN_RANDOM_EXPLAINER_H_
+
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// Sanity-check baseline: i.i.d. N(0, 1) word weights. Every faithfulness
+/// metric should beat this by a wide margin; it anchors the bottom of the
+/// comparison tables.
+class RandomExplainer : public Explainer {
+ public:
+  RandomExplainer() = default;
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "random"; }
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_RANDOM_EXPLAINER_H_

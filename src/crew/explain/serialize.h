@@ -1,0 +1,28 @@
+#ifndef CREW_EXPLAIN_SERIALIZE_H_
+#define CREW_EXPLAIN_SERIALIZE_H_
+
+#include <string>
+
+#include "crew/core/cluster_explanation.h"
+#include "crew/explain/attribution.h"
+
+namespace crew {
+
+/// Escapes a string for inclusion in a JSON document (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Serializes a word-level explanation as a self-describing JSON object:
+/// { "base_score": ..., "surrogate_r2": ..., "attributions": [
+///   {"token": ..., "side": "left", "attribute": 0, "position": 1,
+///    "weight": ...}, ... ] }
+/// Downstream UIs and notebooks consume this; the format is stable.
+std::string WordExplanationToJson(const WordExplanation& explanation);
+
+/// Serializes a CREW cluster explanation, including the member word
+/// indices of each unit so UIs can drill down.
+std::string ClusterExplanationToJson(const ClusterExplanation& explanation);
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_SERIALIZE_H_

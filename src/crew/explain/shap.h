@@ -1,0 +1,40 @@
+#ifndef CREW_EXPLAIN_SHAP_H_
+#define CREW_EXPLAIN_SHAP_H_
+
+#include "crew/explain/attribution.h"
+#include "crew/explain/perturbation.h"
+
+namespace crew {
+
+struct KernelShapConfig {
+  int num_samples = 256;
+  /// Ridge added to the weighted least squares for numerical stability.
+  double ridge_lambda = 1e-3;
+};
+
+/// KernelSHAP (Lundberg & Lee 2017) over token-presence coalitions.
+///
+/// Coalition sizes s are drawn proportionally to the Shapley kernel
+/// pi(s) = (M-1) / (C(M,s) * s * (M-s)), members uniformly within a size;
+/// a weighted ridge regression on the coalition indicators estimates the
+/// Shapley values. The empty coalition (all tokens dropped) anchors the
+/// base value. Included because SHAP is the other generic attribution
+/// family EM explainability papers compare against besides LIME.
+class KernelShapExplainer : public Explainer {
+ public:
+  explicit KernelShapExplainer(KernelShapConfig config = KernelShapConfig())
+      : config_(config) {}
+
+  Result<WordExplanation> Explain(const Matcher& matcher,
+                                  const RecordPair& pair,
+                                  uint64_t seed) const override;
+
+  std::string Name() const override { return "kernel_shap"; }
+
+ private:
+  KernelShapConfig config_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_SHAP_H_

@@ -1,0 +1,95 @@
+#include "crew/explain/token_view.h"
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+Schema AnonymousSchema(const RecordPair& pair) {
+  Schema schema;
+  for (size_t a = 0; a < pair.left.values.size(); ++a) {
+    schema.AddAttribute("attr" + std::to_string(a), AttributeType::kText);
+  }
+  return schema;
+}
+
+PairTokenView::PairTokenView(const Schema& schema, const Tokenizer& tokenizer,
+                             const RecordPair& pair)
+    : schema_(schema), pair_(pair) {
+  CREW_CHECK(static_cast<int>(pair.left.values.size()) == schema.size());
+  CREW_CHECK(static_cast<int>(pair.right.values.size()) == schema.size());
+  for (Side side : {Side::kLeft, Side::kRight}) {
+    const Record& record = pair.side(side);
+    for (int a = 0; a < schema.size(); ++a) {
+      const auto toks = tokenizer.Tokenize(record.values[a]);
+      for (size_t p = 0; p < toks.size(); ++p) {
+        tokens_.push_back(
+            {side, a, static_cast<int>(p), toks[p]});
+      }
+    }
+  }
+}
+
+std::vector<int> PairTokenView::IndicesOnSide(Side side) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (tokens_[i].side == side) out.push_back(i);
+  }
+  return out;
+}
+
+RecordPair PairTokenView::Materialize(const std::vector<bool>& keep) const {
+  return MaterializeWithInjection(keep, std::vector<bool>(size(), false));
+}
+
+RecordPair PairTokenView::MaterializeWithInjection(
+    const std::vector<bool>& keep, const std::vector<bool>& inject) const {
+  CREW_CHECK(static_cast<int>(keep.size()) == size());
+  CREW_CHECK(static_cast<int>(inject.size()) == size());
+  RecordPair out;
+  out.label = pair_.label;
+  out.left.values.assign(schema_.size(), "");
+  out.right.values.assign(schema_.size(), "");
+
+  auto append = [](std::string& value, const std::string& token) {
+    if (!value.empty()) value.push_back(' ');
+    value += token;
+  };
+
+  for (int i = 0; i < size(); ++i) {
+    const TokenRef& ref = tokens_[i];
+    if (keep[i]) {
+      append(out.side(ref.side).values[ref.attribute], ref.text);
+    }
+  }
+  // Injections go after the opposite record's own tokens so they read as
+  // appended evidence, not as replacing the original value.
+  for (int i = 0; i < size(); ++i) {
+    if (!inject[i]) continue;
+    const TokenRef& ref = tokens_[i];
+    const Side opposite =
+        ref.side == Side::kLeft ? Side::kRight : Side::kLeft;
+    append(out.side(opposite).values[ref.attribute], ref.text);
+  }
+  return out;
+}
+
+RecordPair PairTokenView::MaterializeWithSubstitution(
+    int index, const std::string& replacement) const {
+  CREW_CHECK(index >= 0 && index < size());
+  RecordPair out;
+  out.label = pair_.label;
+  out.left.values.assign(schema_.size(), "");
+  out.right.values.assign(schema_.size(), "");
+  auto append = [](std::string& value, const std::string& token) {
+    if (!value.empty()) value.push_back(' ');
+    value += token;
+  };
+  for (int i = 0; i < size(); ++i) {
+    const TokenRef& ref = tokens_[i];
+    append(out.side(ref.side).values[ref.attribute],
+           i == index ? replacement : ref.text);
+  }
+  return out;
+}
+
+}  // namespace crew

@@ -1,0 +1,74 @@
+#ifndef CREW_EXPLAIN_TOKEN_VIEW_H_
+#define CREW_EXPLAIN_TOKEN_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "crew/data/record.h"
+#include "crew/data/schema.h"
+#include "crew/text/tokenizer.h"
+
+namespace crew {
+
+/// Provenance of one word unit inside a record pair.
+struct TokenRef {
+  Side side = Side::kLeft;
+  int attribute = 0;  ///< index into the schema
+  int position = 0;   ///< token index within the attribute value
+  std::string text;   ///< normalized token
+
+  friend bool operator==(const TokenRef& a, const TokenRef& b) {
+    return a.side == b.side && a.attribute == b.attribute &&
+           a.position == b.position && a.text == b.text;
+  }
+};
+
+/// Builds a positional schema ("attr0", "attr1", ...) matching the arity of
+/// `pair`. Explainers only need attribute *identity*, not names or types, so
+/// they can operate on bare pairs without the training-time schema.
+Schema AnonymousSchema(const RecordPair& pair);
+
+/// The interpretable representation all explainers share: the pair as an
+/// ordered list of word units with provenance, plus the ability to
+/// materialize perturbed copies (LIME-style token dropping and LEMON-style
+/// token injection into the opposite record).
+class PairTokenView {
+ public:
+  PairTokenView(const Schema& schema, const Tokenizer& tokenizer,
+                const RecordPair& pair);
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+  const TokenRef& token(int i) const { return tokens_[i]; }
+  const std::vector<TokenRef>& tokens() const { return tokens_; }
+  const RecordPair& original() const { return pair_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Indices of the units on `side`.
+  std::vector<int> IndicesOnSide(Side side) const;
+
+  /// Rebuilds a RecordPair keeping only units with keep[i] == true.
+  /// Attribute values are reconstructed by joining surviving tokens with
+  /// single spaces (the standard interpretable-text simplification).
+  RecordPair Materialize(const std::vector<bool>& keep) const;
+
+  /// Like Materialize, additionally appending the text of every unit in
+  /// `inject` to the *opposite* record, under the same attribute. This is
+  /// the counterfactual-injection operator of Landmark / LEMON.
+  RecordPair MaterializeWithInjection(const std::vector<bool>& keep,
+                                      const std::vector<bool>& inject) const;
+
+  /// Rebuilds the pair with unit `index`'s text replaced by `replacement`
+  /// (all other units kept verbatim). Used by counterfactual-substitution
+  /// explainers (CERTA).
+  RecordPair MaterializeWithSubstitution(int index,
+                                         const std::string& replacement) const;
+
+ private:
+  Schema schema_;
+  RecordPair pair_;
+  std::vector<TokenRef> tokens_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_TOKEN_VIEW_H_

@@ -1,0 +1,85 @@
+#include "crew/la/ridge.h"
+
+#include <cmath>
+
+namespace crew::la {
+
+Status FitRidge(const Matrix& x, const Vec& y, const Vec& weights,
+                double lambda, RidgeModel* model) {
+  const int n = x.rows();
+  const int d = x.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("FitRidge: empty design matrix");
+  }
+  if (static_cast<int>(y.size()) != n) {
+    return Status::InvalidArgument("FitRidge: y size mismatch");
+  }
+  if (!weights.empty() && static_cast<int>(weights.size()) != n) {
+    return Status::InvalidArgument("FitRidge: weights size mismatch");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("FitRidge: negative lambda");
+  }
+
+  // Augmented system over [beta; intercept]: A = X~^T W X~ + diag(lambda..,0)
+  const int m = d + 1;
+  Matrix a(m, m);
+  Vec rhs(m, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    const double* row = x.Row(i);
+    for (int p = 0; p < d; ++p) {
+      const double wp = w * row[p];
+      if (wp == 0.0) continue;
+      double* arow = a.Row(p);
+      for (int q = p; q < d; ++q) arow[q] += wp * row[q];
+      a.At(p, d) += wp;  // interaction with intercept column (all ones)
+      rhs[p] += wp * y[i];
+    }
+    a.At(d, d) += w;
+    rhs[d] += w * y[i];
+  }
+  // Mirror the upper triangle and add the ridge penalty.
+  for (int p = 0; p < m; ++p) {
+    for (int q = p + 1; q < m; ++q) a.At(q, p) = a.At(p, q);
+  }
+  for (int p = 0; p < d; ++p) a.At(p, p) += lambda;
+  // Tiny jitter keeps the intercept block positive definite when all
+  // weights concentrate on few samples.
+  a.At(d, d) += 1e-12;
+
+  Vec solution;
+  if (!CholeskySolve(a, rhs, &solution)) {
+    return Status::Internal("FitRidge: normal equations not positive definite");
+  }
+  model->coefficients.assign(solution.begin(), solution.begin() + d);
+  model->intercept = solution[d];
+
+  // Weighted R^2.
+  double wsum = 0.0, ymean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    wsum += w;
+    ymean += w * y[i];
+  }
+  if (wsum <= 0.0) {
+    return Status::InvalidArgument("FitRidge: all weights are zero");
+  }
+  ymean /= wsum;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    if (w <= 0.0) continue;
+    const double* row = x.Row(i);
+    double pred = model->intercept;
+    for (int p = 0; p < d; ++p) pred += row[p] * model->coefficients[p];
+    ss_res += w * (y[i] - pred) * (y[i] - pred);
+    ss_tot += w * (y[i] - ymean) * (y[i] - ymean);
+  }
+  model->r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return Status::Ok();
+}
+
+}  // namespace crew::la

@@ -1,0 +1,28 @@
+#ifndef CREW_LA_RIDGE_H_
+#define CREW_LA_RIDGE_H_
+
+#include "crew/common/status.h"
+#include "crew/la/matrix.h"
+
+namespace crew::la {
+
+/// Result of a (weighted) ridge regression fit.
+struct RidgeModel {
+  Vec coefficients;  ///< One per feature column.
+  double intercept = 0.0;
+  /// Weighted R^2 of the fit on the training data (surrogate quality; LIME
+  /// reports this as explanation confidence).
+  double r2 = 0.0;
+};
+
+/// Fits min_beta sum_i w_i (y_i - x_i beta - b)^2 + lambda ||beta||^2.
+///
+/// `x` is n x d, `y` and `weights` have length n; `weights` may be empty for
+/// an unweighted fit. The intercept is not regularized. This is the surrogate
+/// solver used by all perturbation-based explainers (LIME, Mojito, Landmark).
+Status FitRidge(const Matrix& x, const Vec& y, const Vec& weights,
+                double lambda, RidgeModel* model);
+
+}  // namespace crew::la
+
+#endif  // CREW_LA_RIDGE_H_

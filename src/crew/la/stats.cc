@@ -1,0 +1,70 @@
+#include "crew/la/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "crew/common/logging.h"
+
+namespace crew::la {
+
+double Variance(const Vec& a) {
+  if (a.size() < 2) return 0.0;
+  const double m = Mean(a);
+  double s = 0.0;
+  for (double v : a) s += (v - m) * (v - m);
+  return s / static_cast<double>(a.size() - 1);
+}
+
+double StdDev(const Vec& a) { return std::sqrt(Variance(a)); }
+
+double Percentile(Vec a, double p) {
+  CREW_CHECK(!a.empty());
+  CREW_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(a.begin(), a.end());
+  if (a.size() == 1) return a[0];
+  const double idx = p / 100.0 * static_cast<double>(a.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, a.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return a[lo] * (1.0 - frac) + a[hi] * frac;
+}
+
+double PearsonCorrelation(const Vec& a, const Vec& b) {
+  CREW_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = Mean(a), mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+Vec Ranks(const Vec& a) {
+  const size_t n = a.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x] < a[y]; });
+  Vec ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && a[order[j + 1]] == a[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const Vec& a, const Vec& b) {
+  CREW_CHECK(a.size() == b.size());
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+}  // namespace crew::la

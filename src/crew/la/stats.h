@@ -1,0 +1,29 @@
+#ifndef CREW_LA_STATS_H_
+#define CREW_LA_STATS_H_
+
+#include "crew/la/vector_ops.h"
+
+namespace crew::la {
+
+/// Sample variance (divides by n-1); 0 for fewer than two samples.
+double Variance(const Vec& a);
+
+/// Sample standard deviation.
+double StdDev(const Vec& a);
+
+/// p-th percentile (p in [0,100]) via linear interpolation; requires
+/// non-empty input. Input is copied, not modified.
+double Percentile(Vec a, double p);
+
+/// Pearson correlation; 0 when either side has zero variance.
+double PearsonCorrelation(const Vec& a, const Vec& b);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const Vec& a, const Vec& b);
+
+/// Fractional ranks of `a` (1-based, ties averaged).
+Vec Ranks(const Vec& a);
+
+}  // namespace crew::la
+
+#endif  // CREW_LA_STATS_H_

@@ -1,0 +1,111 @@
+#include "crew/la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "crew/common/rng.h"
+
+namespace crew::la {
+
+int64_t SymmetricSparse::NonZeros() const {
+  int64_t nnz = 0;
+  for (const auto& row : rows_) nnz += static_cast<int64_t>(row.size());
+  return nnz;
+}
+
+Vec SymmetricSparse::MatVec(const Vec& x) const {
+  CREW_CHECK(static_cast<int>(x.size()) == n_);
+  Vec out(n_, 0.0);
+  for (int r = 0; r < n_; ++r) {
+    double s = 0.0;
+    for (const Entry& e : rows_[r]) s += e.value * x[e.col];
+    out[r] = s;
+  }
+  return out;
+}
+
+namespace {
+
+// Modified Gram-Schmidt on the columns of q (n x k).
+void Orthonormalize(Matrix* q) {
+  const int n = q->rows();
+  const int k = q->cols();
+  for (int j = 0; j < k; ++j) {
+    // Subtract projections on previous columns.
+    for (int p = 0; p < j; ++p) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += q->At(i, j) * q->At(i, p);
+      for (int i = 0; i < n; ++i) q->At(i, j) -= dot * q->At(i, p);
+    }
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) norm += q->At(i, j) * q->At(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate column: re-seed with a deterministic basis vector.
+      for (int i = 0; i < n; ++i) q->At(i, j) = (i % k == j % k) ? 1.0 : 0.0;
+      norm = 0.0;
+      for (int i = 0; i < n; ++i) norm += q->At(i, j) * q->At(i, j);
+      norm = std::sqrt(norm);
+    }
+    for (int i = 0; i < n; ++i) q->At(i, j) /= norm;
+  }
+}
+
+}  // namespace
+
+Status TruncatedSymmetricEigen(const SymmetricSparse& m, int k, int iterations,
+                               uint64_t seed, Matrix* eigenvectors,
+                               Vec* eigenvalues) {
+  const int n = m.n();
+  if (k <= 0 || k > n) {
+    return Status::InvalidArgument("TruncatedSymmetricEigen: bad rank k");
+  }
+  if (iterations <= 0) {
+    return Status::InvalidArgument("TruncatedSymmetricEigen: bad iterations");
+  }
+  Rng rng(seed);
+  Matrix q(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) q.At(i, j) = rng.Normal();
+  }
+  Orthonormalize(&q);
+
+  Vec col(n), mcol;
+  for (int it = 0; it < iterations; ++it) {
+    Matrix z(n, k);
+    for (int j = 0; j < k; ++j) {
+      for (int i = 0; i < n; ++i) col[i] = q.At(i, j);
+      mcol = m.MatVec(col);
+      for (int i = 0; i < n; ++i) z.At(i, j) = mcol[i];
+    }
+    q = std::move(z);
+    Orthonormalize(&q);
+  }
+
+  // Rayleigh quotients as eigenvalue estimates.
+  eigenvalues->assign(k, 0.0);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < n; ++i) col[i] = q.At(i, j);
+    mcol = m.MatVec(col);
+    (*eigenvalues)[j] = Dot(col, mcol);
+  }
+
+  // Sort by decreasing |lambda| and permute columns accordingly.
+  std::vector<int> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return std::fabs((*eigenvalues)[a]) > std::fabs((*eigenvalues)[b]);
+  });
+  Matrix sorted(n, k);
+  Vec sorted_vals(k);
+  for (int j = 0; j < k; ++j) {
+    sorted_vals[j] = (*eigenvalues)[order[j]];
+    for (int i = 0; i < n; ++i) sorted.At(i, j) = q.At(i, order[j]);
+  }
+  *eigenvectors = std::move(sorted);
+  *eigenvalues = std::move(sorted_vals);
+  return Status::Ok();
+}
+
+}  // namespace crew::la

@@ -1,0 +1,57 @@
+#ifndef CREW_LA_SVD_H_
+#define CREW_LA_SVD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crew/common/status.h"
+#include "crew/la/matrix.h"
+
+namespace crew::la {
+
+/// Symmetric sparse matrix in row-compressed form (only used for the PPMI
+/// word-word matrix, which is symmetric by construction).
+class SymmetricSparse {
+ public:
+  explicit SymmetricSparse(int n) : n_(n), rows_(n) {}
+
+  int n() const { return n_; }
+
+  /// Adds `value` at (r, c); caller is responsible for symmetry (add both
+  /// (r,c) and (c,r), or use SetSymmetric).
+  void Add(int r, int c, double value) { rows_[r].push_back({c, value}); }
+
+  /// Adds `value` at (r, c) and, when r != c, at (c, r).
+  void SetSymmetric(int r, int c, double value) {
+    Add(r, c, value);
+    if (r != c) Add(c, r, value);
+  }
+
+  /// Number of stored entries.
+  int64_t NonZeros() const;
+
+  /// out = M * x.
+  Vec MatVec(const Vec& x) const;
+
+ private:
+  struct Entry {
+    int col;
+    double value;
+  };
+  int n_;
+  std::vector<std::vector<Entry>> rows_;
+};
+
+/// Top-k eigenpairs of a symmetric matrix via subspace (orthogonal) power
+/// iteration. Returns eigenvectors as a n x k matrix (columns are vectors)
+/// and eigenvalues sorted by decreasing |lambda|.
+///
+/// `iterations` = 30-50 suffices for embedding purposes (we only need a
+/// good low-rank subspace, not machine-precision eigenpairs).
+Status TruncatedSymmetricEigen(const SymmetricSparse& m, int k, int iterations,
+                               uint64_t seed, Matrix* eigenvectors,
+                               Vec* eigenvalues);
+
+}  // namespace crew::la
+
+#endif  // CREW_LA_SVD_H_

@@ -1,0 +1,90 @@
+#include "crew/la/vector_ops.h"
+
+#include <cmath>
+
+#include "crew/common/logging.h"
+
+namespace crew::la {
+
+double Dot(const Vec& a, const Vec& b) {
+  CREW_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Cosine(const Vec& a, const Vec& b) {
+  double na = Norm(a), nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void Axpy(double alpha, const Vec& x, Vec& y) {
+  CREW_DCHECK(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec& x) {
+  for (double& v : x) v *= alpha;
+}
+
+void NormalizeInPlace(Vec& x) {
+  double n = Norm(x);
+  if (n > 0.0) Scale(1.0 / n, x);
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  CREW_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  CREW_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Hadamard(const Vec& a, const Vec& b) {
+  CREW_DCHECK(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vec Abs(const Vec& a) {
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = std::fabs(a[i]);
+  return out;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+int ArgMax(const Vec& a) {
+  CREW_CHECK(!a.empty());
+  int best = 0;
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[best]) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+double Mean(const Vec& a) {
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : a) s += v;
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace crew::la

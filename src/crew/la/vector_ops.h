@@ -1,0 +1,52 @@
+#ifndef CREW_LA_VECTOR_OPS_H_
+#define CREW_LA_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace crew::la {
+
+/// Dense double vector used across the math layers.
+using Vec = std::vector<double>;
+
+/// Inner product; requires equal sizes.
+double Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double Norm(const Vec& a);
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is zero.
+double Cosine(const Vec& a, const Vec& b);
+
+/// y += alpha * x (sizes must match).
+void Axpy(double alpha, const Vec& x, Vec& y);
+
+/// x *= alpha.
+void Scale(double alpha, Vec& x);
+
+/// Normalizes `x` to unit Euclidean norm in place; zero vectors unchanged.
+void NormalizeInPlace(Vec& x);
+
+/// Element-wise a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// Element-wise a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Element-wise product.
+Vec Hadamard(const Vec& a, const Vec& b);
+
+/// Element-wise absolute value.
+Vec Abs(const Vec& a);
+
+/// Logistic sigmoid, numerically stable.
+double Sigmoid(double x);
+
+/// Index of the maximum element; requires non-empty input.
+int ArgMax(const Vec& a);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const Vec& a);
+
+}  // namespace crew::la
+
+#endif  // CREW_LA_VECTOR_OPS_H_

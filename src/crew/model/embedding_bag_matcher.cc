@@ -1,0 +1,147 @@
+#include "crew/model/embedding_bag_matcher.h"
+
+#include <cmath>
+
+#include "crew/common/rng.h"
+#include "crew/la/vector_ops.h"
+#include "crew/model/metrics.h"
+
+namespace crew {
+namespace {
+
+la::Vec EncodePair(const Schema& schema, const EmbeddingStore& embeddings,
+                   const Tokenizer& tokenizer, const RecordPair& pair) {
+  const int dim = embeddings.dim();
+  la::Vec x;
+  x.reserve(static_cast<size_t>(schema.size()) * (2 * dim + 2));
+  for (int a = 0; a < schema.size(); ++a) {
+    const auto left_tokens = tokenizer.Tokenize(pair.left.values[a]);
+    const auto right_tokens = tokenizer.Tokenize(pair.right.values[a]);
+    const la::Vec l = embeddings.MeanVector(left_tokens);
+    const la::Vec r = embeddings.MeanVector(right_tokens);
+    for (int c = 0; c < dim; ++c) x.push_back(std::fabs(l[c] - r[c]));
+    for (int c = 0; c < dim; ++c) x.push_back(l[c] * r[c]);
+    // Two scalar interactions that sharpen the blurry mean-pooled signal:
+    // cosine of the attribute encodings and the fraction of the attribute's
+    // tokens whose best counterpart vector is (near-)identical.
+    x.push_back(la::Cosine(l, r));
+    double aligned = 0.0;
+    if (!left_tokens.empty() && !right_tokens.empty()) {
+      int hits = 0;
+      for (const auto& lt : left_tokens) {
+        double best = -1.0;
+        for (const auto& rt : right_tokens) {
+          best = std::max(best, lt == rt ? 1.0 : embeddings.Similarity(lt, rt));
+        }
+        if (best > 0.95) ++hits;
+      }
+      aligned = static_cast<double>(hits) /
+                static_cast<double>(left_tokens.size());
+    }
+    x.push_back(aligned);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddingBagMatcher>> EmbeddingBagMatcher::Train(
+    const Dataset& train, std::shared_ptr<const EmbeddingStore> embeddings,
+    const EmbeddingBagConfig& config) {
+  if (train.empty()) {
+    return Status::InvalidArgument("EmbeddingBagMatcher: empty training set");
+  }
+  if (embeddings == nullptr) {
+    return Status::InvalidArgument(
+        "EmbeddingBagMatcher: embeddings are required");
+  }
+  Tokenizer tokenizer;
+  const Schema& schema = train.schema();
+  std::vector<la::Vec> rows;
+  std::vector<int> labels;
+  for (const auto& pair : train.pairs()) {
+    if (pair.label != 0 && pair.label != 1) continue;
+    rows.push_back(EncodePair(schema, *embeddings, tokenizer, pair));
+    labels.push_back(pair.label);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("EmbeddingBagMatcher: no labeled pairs");
+  }
+
+  const int n = static_cast<int>(rows.size());
+  const int d = static_cast<int>(rows[0].size());
+  const int h = config.hidden_units;
+  Rng rng(config.seed);
+  la::Matrix w1(h, d);
+  la::Vec b1(h, 0.0), w2(h, 0.0);
+  double b2 = 0.0;
+  const double init = 1.0 / std::sqrt(static_cast<double>(d));
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < d; ++j) w1.At(i, j) = rng.Uniform(-init, init);
+    w2[i] = rng.Uniform(-0.5, 0.5) / std::sqrt(static_cast<double>(h));
+  }
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  la::Vec hidden(h), delta_hidden(h);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (int idx : order) {
+      const la::Vec& x = rows[idx];
+      for (int i = 0; i < h; ++i) {
+        const double* row = w1.Row(i);
+        double s = b1[i];
+        for (int j = 0; j < d; ++j) s += row[j] * x[j];
+        hidden[i] = std::tanh(s);
+      }
+      const double p = la::Sigmoid(la::Dot(w2, hidden) + b2);
+      const double err = p - labels[idx];
+      for (int i = 0; i < h; ++i) {
+        delta_hidden[i] = err * w2[i] * (1.0 - hidden[i] * hidden[i]);
+      }
+      for (int i = 0; i < h; ++i) {
+        w2[i] -= lr * (err * hidden[i] + config.l2 * w2[i]);
+        double* row = w1.Row(i);
+        const double dh = delta_hidden[i];
+        for (int j = 0; j < d; ++j) {
+          row[j] -= lr * (dh * x[j] + config.l2 * row[j]);
+        }
+        b1[i] -= lr * dh;
+      }
+      b2 -= lr * err;
+    }
+  }
+
+  auto matcher = std::unique_ptr<EmbeddingBagMatcher>(new EmbeddingBagMatcher(
+      schema, embeddings, tokenizer, std::move(w1), std::move(b1),
+      std::move(w2), b2, /*threshold=*/0.5));
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) scores[i] = matcher->Forward(rows[i]);
+  matcher->threshold_ = BestF1Threshold(scores, labels);
+  return matcher;
+}
+
+la::Vec EmbeddingBagMatcher::Encode(const RecordPair& pair) const {
+  return EncodePair(schema_, *embeddings_, tokenizer_, pair);
+}
+
+double EmbeddingBagMatcher::Forward(const la::Vec& x) const {
+  const int h = w1_.rows();
+  const int d = w1_.cols();
+  double z = b2_;
+  for (int i = 0; i < h; ++i) {
+    const double* row = w1_.Row(i);
+    double s = b1_[i];
+    for (int j = 0; j < d; ++j) s += row[j] * x[j];
+    z += w2_[i] * std::tanh(s);
+  }
+  return la::Sigmoid(z);
+}
+
+double EmbeddingBagMatcher::PredictProba(const RecordPair& pair) const {
+  return Forward(Encode(pair));
+}
+
+}  // namespace crew

@@ -1,0 +1,132 @@
+#include "crew/model/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crew/common/logging.h"
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+namespace {
+
+// Levenshtein on long free text is quadratic; above this length fall back
+// to a token-level proxy so perturbation loops stay fast.
+constexpr size_t kMaxLevenshteinLength = 48;
+
+double TypeSpecificSimilarity(AttributeType type, const std::string& a,
+                              const std::string& b,
+                              const std::vector<std::string>& ta,
+                              const std::vector<std::string>& tb) {
+  switch (type) {
+    case AttributeType::kNumeric:
+      return NumericSimilarity(a, b);
+    case AttributeType::kCategorical:
+    case AttributeType::kText:
+      if (a.size() <= kMaxLevenshteinLength &&
+          b.size() <= kMaxLevenshteinLength) {
+        return LevenshteinSimilarity(a, b);
+      }
+      return DiceCoefficient(ta, tb);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+PairFeaturizer::PairFeaturizer(Schema schema,
+                               std::shared_ptr<const EmbeddingStore> embeddings,
+                               Tokenizer tokenizer)
+    : schema_(std::move(schema)),
+      embeddings_(std::move(embeddings)),
+      tokenizer_(tokenizer) {}
+
+int PairFeaturizer::FeatureCount() const {
+  return schema_.size() * kPerAttribute + kGlobal;
+}
+
+std::vector<std::string> PairFeaturizer::FeatureNames() const {
+  std::vector<std::string> names;
+  for (int a = 0; a < schema_.size(); ++a) {
+    const std::string& attr = schema_.name(a);
+    names.push_back(attr + "_jaccard");
+    names.push_back(attr + "_overlap");
+    names.push_back(attr + "_monge_elkan");
+    names.push_back(attr + "_emb_cosine");
+    names.push_back(attr + "_typed_sim");
+  }
+  names.push_back("all_jaccard");
+  names.push_back("all_overlap");
+  names.push_back("log_length_ratio");
+  return names;
+}
+
+la::Vec PairFeaturizer::Extract(const RecordPair& pair) const {
+  CREW_CHECK(static_cast<int>(pair.left.values.size()) == schema_.size());
+  CREW_CHECK(static_cast<int>(pair.right.values.size()) == schema_.size());
+  la::Vec features;
+  features.reserve(FeatureCount());
+
+  std::vector<std::string> all_left, all_right;
+  for (int a = 0; a < schema_.size(); ++a) {
+    const std::string& va = pair.left.values[a];
+    const std::string& vb = pair.right.values[a];
+    const auto ta = tokenizer_.Tokenize(va);
+    const auto tb = tokenizer_.Tokenize(vb);
+    all_left.insert(all_left.end(), ta.begin(), ta.end());
+    all_right.insert(all_right.end(), tb.begin(), tb.end());
+
+    features.push_back(JaccardSimilarity(ta, tb));
+    features.push_back(OverlapCoefficient(ta, tb));
+    features.push_back(MongeElkanSimilarity(ta, tb));
+    if (embeddings_ != nullptr) {
+      features.push_back(la::Cosine(embeddings_->MeanVector(ta),
+                                    embeddings_->MeanVector(tb)));
+    } else {
+      features.push_back(0.0);
+    }
+    features.push_back(
+        TypeSpecificSimilarity(schema_.type(a), va, vb, ta, tb));
+  }
+
+  features.push_back(JaccardSimilarity(all_left, all_right));
+  features.push_back(OverlapCoefficient(all_left, all_right));
+  const double la = static_cast<double>(all_left.size()) + 1.0;
+  const double lb = static_cast<double>(all_right.size()) + 1.0;
+  features.push_back(std::log(la / lb));
+  CREW_DCHECK(static_cast<int>(features.size()) == FeatureCount());
+  return features;
+}
+
+void FeatureScaler::Fit(const std::vector<la::Vec>& rows) {
+  CREW_CHECK(!rows.empty());
+  const size_t d = rows[0].size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : rows) {
+    CREW_CHECK(row.size() == d);
+    for (size_t i = 0; i < d; ++i) mean_[i] += row[i];
+  }
+  for (size_t i = 0; i < d; ++i) mean_[i] /= static_cast<double>(rows.size());
+  la::Vec var(d, 0.0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      var[i] += (row[i] - mean_[i]) * (row[i] - mean_[i]);
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    const double sd = std::sqrt(var[i] / static_cast<double>(rows.size()));
+    inv_std_[i] = sd > 1e-9 ? 1.0 / sd : 1.0;
+  }
+}
+
+la::Vec FeatureScaler::Transform(const la::Vec& row) const {
+  CREW_CHECK(fitted());
+  CREW_CHECK(row.size() == mean_.size());
+  la::Vec out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    out[i] = (row[i] - mean_[i]) * inv_std_[i];
+  }
+  return out;
+}
+
+}  // namespace crew

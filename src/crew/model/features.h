@@ -1,0 +1,63 @@
+#ifndef CREW_MODEL_FEATURES_H_
+#define CREW_MODEL_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crew/data/record.h"
+#include "crew/data/schema.h"
+#include "crew/embed/embedding_store.h"
+#include "crew/la/vector_ops.h"
+#include "crew/text/tokenizer.h"
+
+namespace crew {
+
+/// Magellan-style attribute-similarity featurizer for record pairs.
+///
+/// Per attribute: Jaccard, overlap coefficient, Monge-Elkan, embedding
+/// cosine of the attribute's mean word vector, and a type-specific feature
+/// (numeric relative similarity for kNumeric, Levenshtein for short values).
+/// Plus three pair-global features (all-token Jaccard, overlap, log length
+/// ratio). Every feature is a function of the surviving tokens, so dropping
+/// a token perturbs the feature vector — the property perturbation-based
+/// explainers rely on.
+class PairFeaturizer {
+ public:
+  /// `embeddings` may be null; embedding-cosine features are then 0.
+  PairFeaturizer(Schema schema,
+                 std::shared_ptr<const EmbeddingStore> embeddings,
+                 Tokenizer tokenizer = Tokenizer());
+
+  int FeatureCount() const;
+  std::vector<std::string> FeatureNames() const;
+
+  la::Vec Extract(const RecordPair& pair) const;
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  static constexpr int kPerAttribute = 5;
+  static constexpr int kGlobal = 3;
+
+  Schema schema_;
+  std::shared_ptr<const EmbeddingStore> embeddings_;
+  Tokenizer tokenizer_;
+};
+
+/// Z-score standardizer fitted on training features; keeps matcher training
+/// numerically well-behaved. Constant features are passed through unchanged.
+class FeatureScaler {
+ public:
+  void Fit(const std::vector<la::Vec>& rows);
+  la::Vec Transform(const la::Vec& row) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  la::Vec mean_;
+  la::Vec inv_std_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_MODEL_FEATURES_H_

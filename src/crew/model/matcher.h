@@ -1,0 +1,36 @@
+#ifndef CREW_MODEL_MATCHER_H_
+#define CREW_MODEL_MATCHER_H_
+
+#include <string>
+
+#include "crew/data/record.h"
+
+namespace crew {
+
+/// Black-box EM classifier interface.
+///
+/// This is the *entire* surface explainers are allowed to touch — they may
+/// call PredictProba on arbitrary (perturbed) record pairs and nothing else,
+/// exactly as post-hoc explainers treat a deployed BERT matcher.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Probability in [0, 1] that the pair refers to the same entity.
+  virtual double PredictProba(const RecordPair& pair) const = 0;
+
+  /// Decision threshold calibrated at training time.
+  virtual double threshold() const { return 0.5; }
+
+  /// Short display name ("logistic", "mlp", ...).
+  virtual std::string Name() const = 0;
+
+  /// 1 = match, 0 = non-match at the calibrated threshold.
+  int Predict(const RecordPair& pair) const {
+    return PredictProba(pair) >= threshold() ? 1 : 0;
+  }
+};
+
+}  // namespace crew
+
+#endif  // CREW_MODEL_MATCHER_H_

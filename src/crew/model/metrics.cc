@@ -1,0 +1,81 @@
+#include "crew/model/metrics.h"
+
+#include <algorithm>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+double ClassificationMetrics::Precision() const {
+  const int denom = true_positives + false_positives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ClassificationMetrics::Recall() const {
+  const int denom = true_positives + false_negatives;
+  return denom > 0 ? static_cast<double>(true_positives) / denom : 0.0;
+}
+
+double ClassificationMetrics::F1() const {
+  const double p = Precision(), r = Recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ClassificationMetrics::Accuracy() const {
+  const int total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  return total > 0
+             ? static_cast<double>(true_positives + true_negatives) / total
+             : 0.0;
+}
+
+ClassificationMetrics EvaluateMatcher(const Matcher& matcher,
+                                      const Dataset& dataset) {
+  ClassificationMetrics m;
+  for (const auto& pair : dataset.pairs()) {
+    if (pair.label != 0 && pair.label != 1) continue;
+    const int pred = matcher.Predict(pair);
+    if (pred == 1 && pair.label == 1) ++m.true_positives;
+    if (pred == 1 && pair.label == 0) ++m.false_positives;
+    if (pred == 0 && pair.label == 0) ++m.true_negatives;
+    if (pred == 0 && pair.label == 1) ++m.false_negatives;
+  }
+  return m;
+}
+
+ClassificationMetrics MetricsAtThreshold(const std::vector<double>& scores,
+                                         const std::vector<int>& labels,
+                                         double threshold) {
+  CREW_CHECK(scores.size() == labels.size());
+  ClassificationMetrics m;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const int pred = scores[i] >= threshold ? 1 : 0;
+    if (pred == 1 && labels[i] == 1) ++m.true_positives;
+    if (pred == 1 && labels[i] == 0) ++m.false_positives;
+    if (pred == 0 && labels[i] == 0) ++m.true_negatives;
+    if (pred == 0 && labels[i] == 1) ++m.false_negatives;
+  }
+  return m;
+}
+
+double BestF1Threshold(const std::vector<double>& scores,
+                       const std::vector<int>& labels) {
+  CREW_CHECK(scores.size() == labels.size());
+  if (scores.empty()) return 0.5;
+  std::vector<double> candidates = scores;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  double best_threshold = 0.5;
+  double best_f1 = -1.0;
+  for (double t : candidates) {
+    const double f1 = MetricsAtThreshold(scores, labels, t).F1();
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace crew

@@ -1,0 +1,40 @@
+#ifndef CREW_MODEL_METRICS_H_
+#define CREW_MODEL_METRICS_H_
+
+#include <vector>
+
+#include "crew/data/dataset.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// Binary classification quality summary.
+struct ClassificationMetrics {
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+};
+
+/// Scores `matcher` on every labeled pair of `dataset` at its calibrated
+/// threshold. Unlabeled pairs are skipped.
+ClassificationMetrics EvaluateMatcher(const Matcher& matcher,
+                                      const Dataset& dataset);
+
+/// Metrics of thresholding `scores` at `threshold` against binary `labels`.
+ClassificationMetrics MetricsAtThreshold(const std::vector<double>& scores,
+                                         const std::vector<int>& labels,
+                                         double threshold);
+
+/// Threshold in (0,1) maximizing F1 on (scores, labels); 0.5 if degenerate.
+double BestF1Threshold(const std::vector<double>& scores,
+                       const std::vector<int>& labels);
+
+}  // namespace crew
+
+#endif  // CREW_MODEL_METRICS_H_

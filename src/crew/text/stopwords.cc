@@ -1,0 +1,35 @@
+#include "crew/text/stopwords.h"
+
+#include <array>
+#include <string_view>
+
+namespace crew {
+namespace {
+
+// Compact English stop-word list; kept sorted for binary search.
+constexpr std::array<std::string_view, 48> kStopwords = {
+    "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+    "for",  "from", "had",  "has",  "have", "he",   "her",  "his",
+    "i",    "if",   "in",   "into", "is",   "it",   "its",  "no",
+    "not",  "of",   "on",   "or",   "our",  "she",  "so",   "that",
+    "the",  "their", "them", "then", "they", "this", "to",  "was",
+    "we",   "were", "what", "when", "which", "will", "with", "you",
+};
+
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  int lo = 0, hi = static_cast<int>(kStopwords.size()) - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (kStopwords[mid] == token) return true;
+    if (kStopwords[mid] < token) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return false;
+}
+
+}  // namespace crew

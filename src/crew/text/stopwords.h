@@ -1,0 +1,15 @@
+#ifndef CREW_TEXT_STOPWORDS_H_
+#define CREW_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace crew {
+
+/// Returns true if `token` (already lower-cased) is in the built-in English
+/// stop-word list. EM explainers typically keep stop-words in perturbations
+/// but exclude them from explanation units; CREW follows that convention.
+bool IsStopword(std::string_view token);
+
+}  // namespace crew
+
+#endif  // CREW_TEXT_STOPWORDS_H_

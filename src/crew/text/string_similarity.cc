@@ -1,0 +1,153 @@
+#include "crew/text/string_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "crew/common/string_util.h"
+
+namespace crew {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (int j = 0; j <= m; ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (int j = 1; j <= m; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> a_match(n, false), b_match(m, false);
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - window);
+    const int hi = std::min(m - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_match[j] && a[i] == b[j]) {
+        a_match[i] = b_match[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!a_match[i]) continue;
+    while (!b_match[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double mm = matches;
+  const double jaro = (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+  // Winkler prefix boost.
+  int prefix = 0;
+  for (int i = 0; i < std::min({n, m, 4}); ++i) {
+    if (a[i] == b[i]) {
+      ++prefix;
+    } else {
+      break;
+    }
+  }
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::unordered_set<std::string_view> ToSet(const std::vector<std::string>& v) {
+  std::unordered_set<std::string_view> s;
+  s.reserve(v.size());
+  for (const auto& t : v) s.insert(t);
+  return s;
+}
+
+int IntersectionSize(const std::unordered_set<std::string_view>& a,
+                     const std::unordered_set<std::string_view>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  int n = 0;
+  for (const auto& t : small) {
+    if (large.count(t) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  const auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const int inter = IntersectionSize(sa, sb);
+  const int uni = static_cast<int>(sa.size() + sb.size()) - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  const auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  const int inter = IntersectionSize(sa, sb);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(sa.size(), sb.size()));
+}
+
+double DiceCoefficient(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  const auto sa = ToSet(a), sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  const int inter = IntersectionSize(sa, sb);
+  return 2.0 * inter / static_cast<double>(sa.size() + sb.size());
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& ta : a) {
+    double best = 0.0;
+    for (const auto& tb : b) {
+      best = std::max(best, JaroWinklerSimilarity(ta, tb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  double x = 0.0, y = 0.0;
+  if (!ParseDouble(a, &x) || !ParseDouble(b, &y)) {
+    return LevenshteinSimilarity(a, b);
+  }
+  const double denom = std::max(std::fabs(x), std::fabs(y));
+  if (denom == 0.0) return 1.0;
+  const double sim = 1.0 - std::fabs(x - y) / denom;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+}  // namespace crew

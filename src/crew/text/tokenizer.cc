@@ -1,0 +1,38 @@
+#include "crew/text/tokenizer.h"
+
+#include <cctype>
+
+namespace crew {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.empty()) return;
+    if (static_cast<int>(current.size()) >= options_.min_token_length) {
+      bool all_digits = true;
+      for (char c : current) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (options_.keep_numbers || !all_digits) tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : ch);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace crew

@@ -1,0 +1,39 @@
+#ifndef CREW_TEXT_TOKENIZER_H_
+#define CREW_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crew {
+
+/// Tokenizer options. Defaults match what EM explainers assume: lower-cased
+/// alphanumeric word units, numbers kept (model numbers are decisive in
+/// product matching).
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool keep_numbers = true;
+  /// Tokens shorter than this are dropped (after lowercasing).
+  int min_token_length = 1;
+};
+
+/// Splits free text into word tokens.
+///
+/// A token is a maximal run of ASCII alphanumeric characters; everything
+/// else is a separator. "Sony WH-1000XM4!" -> {"sony", "wh", "1000xm4"}.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_TEXT_TOKENIZER_H_

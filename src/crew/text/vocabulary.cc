@@ -1,0 +1,62 @@
+#include "crew/text/vocabulary.h"
+
+#include <algorithm>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+int Vocabulary::Add(std::string_view token) { return AddCount(token, 1); }
+
+int Vocabulary::AddCount(std::string_view token, int64_t count) {
+  CREW_DCHECK(count >= 0);
+  auto it = id_by_token_.find(std::string(token));
+  int id;
+  if (it == id_by_token_.end()) {
+    id = static_cast<int>(tokens_.size());
+    tokens_.emplace_back(token);
+    counts_.push_back(0);
+    id_by_token_.emplace(tokens_.back(), id);
+  } else {
+    id = it->second;
+  }
+  counts_[id] += count;
+  total_count_ += count;
+  return id;
+}
+
+int Vocabulary::GetId(std::string_view token) const {
+  auto it = id_by_token_.find(std::string(token));
+  return it == id_by_token_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int id) const {
+  CREW_CHECK(id >= 0 && id < size());
+  return tokens_[id];
+}
+
+int64_t Vocabulary::CountOf(int id) const {
+  CREW_CHECK(id >= 0 && id < size());
+  return counts_[id];
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_count) const {
+  Vocabulary out;
+  for (int id = 0; id < size(); ++id) {
+    if (counts_[id] >= min_count) out.AddCount(tokens_[id], counts_[id]);
+  }
+  return out;
+}
+
+std::vector<int> Vocabulary::TopKByCount(int k) const {
+  std::vector<int> ids(tokens_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    if (counts_[a] != counts_[b]) return counts_[a] > counts_[b];
+    return a < b;
+  });
+  if (k >= 0 && k < static_cast<int>(ids.size())) ids.resize(k);
+  return ids;
+}
+
+}  // namespace crew

@@ -1,0 +1,59 @@
+#ifndef CREW_TEXT_VOCABULARY_H_
+#define CREW_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace crew {
+
+/// Bidirectional token <-> id map with occurrence counts.
+///
+/// Ids are dense and stable in insertion order, which the embedding layer
+/// relies on for matrix indexing.
+class Vocabulary {
+ public:
+  static constexpr int kUnknownId = -1;
+
+  /// Adds one occurrence of `token`, creating an id on first sight.
+  /// Returns the token id.
+  int Add(std::string_view token);
+
+  /// Adds `count` occurrences.
+  int AddCount(std::string_view token, int64_t count);
+
+  /// Returns the id of `token` or kUnknownId.
+  int GetId(std::string_view token) const;
+
+  /// Returns true if `token` is present.
+  bool Contains(std::string_view token) const { return GetId(token) >= 0; }
+
+  /// Token string for `id`; requires a valid id.
+  const std::string& TokenOf(int id) const;
+
+  /// Occurrence count for `id`; requires a valid id.
+  int64_t CountOf(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Total number of occurrences across all tokens.
+  int64_t TotalCount() const { return total_count_; }
+
+  /// Returns a new vocabulary containing only tokens with count >=
+  /// `min_count` (ids are re-assigned densely, preserving order).
+  Vocabulary Pruned(int64_t min_count) const;
+
+  /// Ids of the `k` most frequent tokens (ties broken by id).
+  std::vector<int> TopKByCount(int k) const;
+
+ private:
+  std::unordered_map<std::string, int> id_by_token_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> counts_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace crew
+
+#endif  // CREW_TEXT_VOCABULARY_H_

@@ -1,0 +1,126 @@
+#include "crew/core/affinity.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+WordAttribution MakeAttr(const std::string& text, int attribute,
+                         double weight, Side side = Side::kLeft) {
+  WordAttribution a;
+  a.token.text = text;
+  a.token.attribute = attribute;
+  a.token.side = side;
+  a.weight = weight;
+  return a;
+}
+
+EmbeddingStore TwoWordStore() {
+  Vocabulary vocab;
+  vocab.Add("close1");
+  vocab.Add("close2");
+  vocab.Add("far");
+  la::Matrix vectors(3, 2);
+  vectors.At(0, 0) = 1.0;                       // close1 -> (1, 0)
+  vectors.At(1, 0) = 0.95;
+  vectors.At(1, 1) = 0.05;                      // close2 near close1
+  vectors.At(2, 1) = 1.0;                       // far orthogonal
+  return EmbeddingStore(std::move(vocab), std::move(vectors));
+}
+
+TEST(AffinityTest, AttributeOnlyKnowledge) {
+  AffinityWeights w{0.0, 1.0, 0.0};
+  const std::vector<WordAttribution> attrs = {
+      MakeAttr("a", 0, 1.0), MakeAttr("b", 0, -5.0), MakeAttr("c", 1, 1.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, nullptr, w);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.0);  // same attribute
+  EXPECT_DOUBLE_EQ(d.At(0, 2), 1.0);  // different attribute
+  EXPECT_DOUBLE_EQ(d.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(d.At(2, 0), d.At(0, 2));  // symmetry
+  EXPECT_DOUBLE_EQ(d.At(0, 0), 0.0);
+}
+
+TEST(AffinityTest, ImportanceOnlyKnowledge) {
+  AffinityWeights w{0.0, 0.0, 1.0};
+  const std::vector<WordAttribution> attrs = {
+      MakeAttr("a", 0, 0.0), MakeAttr("b", 1, 1.0), MakeAttr("c", 2, 2.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, nullptr, w);
+  EXPECT_DOUBLE_EQ(d.At(0, 2), 1.0);  // full range apart
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(d.At(1, 2), 0.5);
+}
+
+TEST(AffinityTest, SemanticOnlyKnowledge) {
+  const EmbeddingStore store = TwoWordStore();
+  AffinityWeights w{1.0, 0.0, 0.0};
+  const std::vector<WordAttribution> attrs = {MakeAttr("close1", 0, 1.0),
+                                              MakeAttr("close2", 1, 2.0),
+                                              MakeAttr("far", 2, 3.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, &store, w);
+  EXPECT_LT(d.At(0, 1), d.At(0, 2));
+  EXPECT_LT(d.At(0, 1), 0.1);
+}
+
+TEST(AffinityTest, IdenticalTokensSemanticZeroEvenOov) {
+  AffinityWeights w{1.0, 0.0, 0.0};
+  const std::vector<WordAttribution> attrs = {MakeAttr("oovword", 0, 1.0),
+                                              MakeAttr("oovword", 1, 2.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, nullptr, w);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.0);
+}
+
+TEST(AffinityTest, DissimilarOovPairsGetNeutralSemanticDistance) {
+  AffinityWeights w{1.0, 0.0, 0.0};
+  const std::vector<WordAttribution> attrs = {MakeAttr("zqxjv", 0, 1.0),
+                                              MakeAttr("bworm", 1, 2.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, nullptr, w);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 0.5);
+}
+
+TEST(AffinityTest, OovTypoVariantsFallBackToSurfaceSimilarity) {
+  // Neither token has an embedding; the Jaro-Winkler fallback must still
+  // put the typo pair close so they can share a cluster.
+  AffinityWeights w{1.0, 0.0, 0.0};
+  const std::vector<WordAttribution> attrs = {
+      MakeAttr("corporation", 0, 1.0), MakeAttr("corporaiton", 1, 2.0)};
+  const la::Matrix d = BuildWordDistanceMatrix(attrs, nullptr, w);
+  EXPECT_LT(d.At(0, 1), 0.1);
+}
+
+TEST(AffinityTest, CombinedIsWeightedMean) {
+  const EmbeddingStore store = TwoWordStore();
+  const std::vector<WordAttribution> attrs = {MakeAttr("close1", 0, 0.0),
+                                              MakeAttr("far", 1, 1.0)};
+  AffinityWeights sem{1.0, 0.0, 0.0}, att{0.0, 1.0, 0.0}, imp{0.0, 0.0, 1.0};
+  AffinityWeights all{1.0, 1.0, 1.0};
+  const double ds = BuildWordDistanceMatrix(attrs, &store, sem).At(0, 1);
+  const double da = BuildWordDistanceMatrix(attrs, &store, att).At(0, 1);
+  const double di = BuildWordDistanceMatrix(attrs, &store, imp).At(0, 1);
+  const double dc = BuildWordDistanceMatrix(attrs, &store, all).At(0, 1);
+  EXPECT_NEAR(dc, (ds + da + di) / 3.0, 1e-12);
+}
+
+TEST(AffinityTest, ZeroWeightsGiveZeroDistance) {
+  AffinityWeights w{0.0, 0.0, 0.0};
+  const std::vector<WordAttribution> attrs = {MakeAttr("a", 0, 1.0),
+                                              MakeAttr("b", 1, 2.0)};
+  EXPECT_DOUBLE_EQ(BuildWordDistanceMatrix(attrs, nullptr, w).At(0, 1), 0.0);
+}
+
+TEST(AffinityTest, DistancesInUnitInterval) {
+  const EmbeddingStore store = TwoWordStore();
+  const std::vector<WordAttribution> attrs = {
+      MakeAttr("close1", 0, -3.0), MakeAttr("close2", 1, 0.0),
+      MakeAttr("far", 2, 5.0), MakeAttr("oov", 0, 1.0)};
+  const la::Matrix d =
+      BuildWordDistanceMatrix(attrs, &store, AffinityWeights{});
+  for (int i = 0; i < d.rows(); ++i) {
+    for (int j = 0; j < d.cols(); ++j) {
+      EXPECT_GE(d.At(i, j), 0.0);
+      EXPECT_LE(d.At(i, j), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crew

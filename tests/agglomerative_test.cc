@@ -1,0 +1,109 @@
+#include "crew/core/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crew {
+namespace {
+
+// Distance matrix with two tight groups {0,1} and {2,3} far apart.
+la::Matrix TwoGroups() {
+  la::Matrix d(4, 4);
+  auto set = [&](int i, int j, double v) {
+    d.At(i, j) = v;
+    d.At(j, i) = v;
+  };
+  set(0, 1, 0.1);
+  set(2, 3, 0.1);
+  set(0, 2, 1.0);
+  set(0, 3, 1.0);
+  set(1, 2, 1.0);
+  set(1, 3, 1.0);
+  return d;
+}
+
+TEST(AgglomerativeTest, MergeCountAndOrder) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(TwoGroups(), Linkage::kAverage);
+  EXPECT_EQ(dendrogram.n, 4);
+  ASSERT_EQ(dendrogram.merges.size(), 3u);
+  // The two cheap merges happen first.
+  EXPECT_DOUBLE_EQ(dendrogram.merges[0].distance, 0.1);
+  EXPECT_DOUBLE_EQ(dendrogram.merges[1].distance, 0.1);
+  EXPECT_DOUBLE_EQ(dendrogram.merges[2].distance, 1.0);
+}
+
+TEST(AgglomerativeTest, CutRecoversPlantedGroups) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(TwoGroups(), Linkage::kAverage);
+  const auto labels = dendrogram.CutToClusters(2);
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(AgglomerativeTest, CutExtremes) {
+  const Dendrogram dendrogram =
+      AgglomerativeCluster(TwoGroups(), Linkage::kAverage);
+  const auto one = dendrogram.CutToClusters(1);
+  EXPECT_EQ(std::set<int>(one.begin(), one.end()).size(), 1u);
+  const auto all = dendrogram.CutToClusters(4);
+  EXPECT_EQ(std::set<int>(all.begin(), all.end()).size(), 4u);
+  // Out-of-range k is clamped.
+  const auto over = dendrogram.CutToClusters(99);
+  EXPECT_EQ(std::set<int>(over.begin(), over.end()).size(), 4u);
+  const auto under = dendrogram.CutToClusters(0);
+  EXPECT_EQ(std::set<int>(under.begin(), under.end()).size(), 1u);
+}
+
+TEST(AgglomerativeTest, SingleAndCompleteLinkageDiffer) {
+  // A chain 0-1-2: single linkage chains them early; complete linkage
+  // keeps the span.
+  la::Matrix d(3, 3);
+  auto set = [&](int i, int j, double v) {
+    d.At(i, j) = v;
+    d.At(j, i) = v;
+  };
+  set(0, 1, 1.0);
+  set(1, 2, 1.0);
+  set(0, 2, 3.0);
+  const Dendrogram single = AgglomerativeCluster(d, Linkage::kSingle);
+  const Dendrogram complete = AgglomerativeCluster(d, Linkage::kComplete);
+  // Final merge distance: single = 1 (min), complete = 3 (max).
+  EXPECT_DOUBLE_EQ(single.merges.back().distance, 1.0);
+  EXPECT_DOUBLE_EQ(complete.merges.back().distance, 3.0);
+}
+
+TEST(AgglomerativeTest, AverageLinkageWeightsBySize) {
+  la::Matrix d(3, 3);
+  auto set = [&](int i, int j, double v) {
+    d.At(i, j) = v;
+    d.At(j, i) = v;
+  };
+  set(0, 1, 0.2);
+  set(0, 2, 1.0);
+  set(1, 2, 2.0);
+  const Dendrogram avg = AgglomerativeCluster(d, Linkage::kAverage);
+  // After merging {0,1}, distance to 2 = (1.0 + 2.0) / 2.
+  EXPECT_DOUBLE_EQ(avg.merges.back().distance, 1.5);
+}
+
+TEST(AgglomerativeTest, TrivialInputs) {
+  la::Matrix empty(0, 0);
+  EXPECT_TRUE(AgglomerativeCluster(empty, Linkage::kAverage).merges.empty());
+  la::Matrix one(1, 1);
+  const Dendrogram d1 = AgglomerativeCluster(one, Linkage::kAverage);
+  EXPECT_TRUE(d1.merges.empty());
+  EXPECT_EQ(d1.CutToClusters(1), (std::vector<int>{0}));
+}
+
+TEST(AgglomerativeTest, LinkageNames) {
+  EXPECT_STREQ(LinkageName(Linkage::kSingle), "single");
+  EXPECT_STREQ(LinkageName(Linkage::kComplete), "complete");
+  EXPECT_STREQ(LinkageName(Linkage::kAverage), "average");
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,129 @@
+#include "crew/data/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/data/generator.h"
+
+namespace crew {
+namespace {
+
+Dataset TinyDataset() {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  Dataset d(s);
+  auto add = [&](const std::string& l, const std::string& r, int label) {
+    RecordPair p;
+    p.left.values = {l};
+    p.right.values = {r};
+    p.label = label;
+    d.Add(p);
+  };
+  add("acme turbo router x9", "acme turbo router x9", 1);
+  add("zeta coffee grinder", "zeta coffee grinder pro", 1);
+  add("acme blender", "unrelated gadget thing", 0);
+  return d;
+}
+
+TEST(ToTablesTest, PreservesRecordsAndGold) {
+  const TablePair tables = ToTables(TinyDataset());
+  EXPECT_EQ(tables.left.size(), 3u);
+  EXPECT_EQ(tables.right.size(), 3u);
+  ASSERT_EQ(tables.gold_matches.size(), 2u);
+  EXPECT_EQ(tables.gold_matches[0], (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(tables.gold_matches[1], (std::pair<int, int>{1, 1}));
+}
+
+TEST(TokenBlockerTest, FindsOverlappingPairs) {
+  const TablePair tables = ToTables(TinyDataset());
+  BlockingConfig config;
+  config.min_shared_tokens = 2;
+  config.max_token_frequency = 1.0;  // tiny table: keep all tokens
+  TokenBlocker blocker(config);
+  const auto candidates = blocker.GenerateCandidates(tables);
+  // Both gold matches share >= 2 tokens; the non-match shares none.
+  const auto metrics = EvaluateBlocking(tables, candidates);
+  EXPECT_EQ(metrics.gold_covered, 2);
+  for (const auto& [i, j] : candidates) {
+    EXPECT_NE(std::make_pair(i, j), (std::pair<int, int>{2, 2}));
+  }
+}
+
+TEST(TokenBlockerTest, MinSharedTokensFilters) {
+  const TablePair tables = ToTables(TinyDataset());
+  BlockingConfig config;
+  config.min_shared_tokens = 4;
+  config.max_token_frequency = 1.0;
+  TokenBlocker blocker(config);
+  const auto candidates = blocker.GenerateCandidates(tables);
+  // Only the 4-token-overlap pair (0,0) qualifies.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (std::pair<int, int>{0, 0}));
+}
+
+TEST(TokenBlockerTest, StopTokenFrequencyFilter) {
+  // Every record shares the token "common": with a tight frequency cap the
+  // blocker must not emit the cross product.
+  Schema s;
+  s.AddAttribute("t", AttributeType::kText);
+  Dataset d(s);
+  for (int i = 0; i < 20; ++i) {
+    RecordPair p;
+    p.left.values = {"common item" + std::to_string(i)};
+    p.right.values = {"common item" + std::to_string(i)};
+    p.label = 1;
+    d.Add(p);
+  }
+  const TablePair tables = ToTables(d);
+  BlockingConfig config;
+  config.min_shared_tokens = 1;
+  config.max_token_frequency = 0.2;
+  const auto candidates = TokenBlocker(config).GenerateCandidates(tables);
+  // "common" is a stop token; only the discriminative itemN tokens block,
+  // each matching exactly its counterpart.
+  EXPECT_EQ(candidates.size(), 20u);
+  const auto metrics = EvaluateBlocking(tables, candidates);
+  EXPECT_DOUBLE_EQ(metrics.PairCompleteness(), 1.0);
+  EXPECT_GT(metrics.ReductionRatio(20, 20), 0.9);
+}
+
+TEST(TokenBlockerTest, MaxCandidatesKeepsHighestOverlap) {
+  const TablePair tables = ToTables(TinyDataset());
+  BlockingConfig config;
+  config.min_shared_tokens = 1;
+  config.max_token_frequency = 1.0;
+  config.max_candidates = 1;
+  const auto candidates = TokenBlocker(config).GenerateCandidates(tables);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (std::pair<int, int>{0, 0}));  // 4 shared tokens
+}
+
+TEST(BlockingMetricsTest, Formulas) {
+  BlockingMetrics m;
+  m.candidates = 10;
+  m.gold_matches = 4;
+  m.gold_covered = 3;
+  EXPECT_DOUBLE_EQ(m.PairCompleteness(), 0.75);
+  EXPECT_DOUBLE_EQ(m.ReductionRatio(10, 10), 0.9);
+  BlockingMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.PairCompleteness(), 1.0);
+}
+
+TEST(TokenBlockerTest, ScalesToGeneratedBenchmark) {
+  GeneratorConfig config;
+  config.num_matches = 120;
+  config.num_nonmatches = 120;
+  auto dataset = GenerateDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  const TablePair tables = ToTables(*dataset);
+  const auto candidates = TokenBlocker().GenerateCandidates(tables);
+  const auto metrics = EvaluateBlocking(tables, candidates);
+  // The blocker must keep nearly all true matches while pruning hard.
+  EXPECT_GT(metrics.PairCompleteness(), 0.9);
+  EXPECT_GT(metrics.ReductionRatio(
+                static_cast<int>(tables.left.size()),
+                static_cast<int>(tables.right.size())),
+            0.5);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,81 @@
+#include "crew/eval/comprehensibility.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+WordExplanation MakeWords(std::vector<std::pair<std::string, int>> tokens) {
+  WordExplanation words;
+  for (const auto& [text, attribute] : tokens) {
+    TokenRef t;
+    t.text = text;
+    t.attribute = attribute;
+    words.attributions.push_back({t, 0.0});
+  }
+  return words;
+}
+
+TEST(ComprehensibilityTest, EffectiveUnitsCoversMass) {
+  WordExplanation words = MakeWords({{"a", 0}, {"b", 0}, {"c", 0}});
+  std::vector<ExplanationUnit> units(3);
+  units[0] = {{0}, 10.0, "a"};
+  units[1] = {{1}, 0.5, "b"};
+  units[2] = {{2}, 0.1, "c"};
+  const auto r = EvaluateComprehensibility(words, units, nullptr);
+  EXPECT_EQ(r.total_units, 3);
+  EXPECT_EQ(r.effective_units, 1);  // 10 / 10.6 > 90%
+  EXPECT_DOUBLE_EQ(r.avg_words_per_unit, 1.0);
+}
+
+TEST(ComprehensibilityTest, EffectiveUnitsAllWhenUniform) {
+  WordExplanation words = MakeWords({{"a", 0}, {"b", 0}});
+  std::vector<ExplanationUnit> units(2);
+  units[0] = {{0}, 1.0, "a"};
+  units[1] = {{1}, 1.0, "b"};
+  const auto r = EvaluateComprehensibility(words, units, nullptr);
+  EXPECT_EQ(r.effective_units, 2);
+}
+
+TEST(ComprehensibilityTest, AttributePurity) {
+  WordExplanation words =
+      MakeWords({{"a", 0}, {"b", 0}, {"c", 1}, {"d", 2}});
+  std::vector<ExplanationUnit> units(2);
+  units[0] = {{0, 1}, 1.0, "pure"};    // both attribute 0
+  units[1] = {{2, 3}, 1.0, "mixed"};   // attributes 1 and 2
+  const auto r = EvaluateComprehensibility(words, units, nullptr);
+  EXPECT_DOUBLE_EQ(r.attribute_purity, 0.5);
+  EXPECT_DOUBLE_EQ(r.avg_words_per_unit, 2.0);
+}
+
+TEST(ComprehensibilityTest, CoherenceUsesEmbeddings) {
+  Vocabulary vocab;
+  vocab.Add("x");
+  vocab.Add("y");
+  la::Matrix vectors(2, 2);
+  vectors.At(0, 0) = 1.0;
+  vectors.At(1, 0) = 1.0;  // identical directions -> similarity 1
+  EmbeddingStore store(std::move(vocab), std::move(vectors));
+  WordExplanation words = MakeWords({{"x", 0}, {"y", 0}});
+  std::vector<ExplanationUnit> units(1);
+  units[0] = {{0, 1}, 1.0, "xy"};
+  const auto r = EvaluateComprehensibility(words, units, &store);
+  EXPECT_NEAR(r.semantic_coherence, 1.0, 1e-9);
+}
+
+TEST(ComprehensibilityTest, EmptyUnits) {
+  const auto r = EvaluateComprehensibility(WordExplanation(), {}, nullptr);
+  EXPECT_EQ(r.total_units, 0);
+  EXPECT_EQ(r.effective_units, 0);
+}
+
+TEST(ComprehensibilityTest, ZeroMassFallsBackToTotal) {
+  WordExplanation words = MakeWords({{"a", 0}});
+  std::vector<ExplanationUnit> units(1);
+  units[0] = {{0}, 0.0, "a"};
+  const auto r = EvaluateComprehensibility(words, units, nullptr);
+  EXPECT_EQ(r.effective_units, 1);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,123 @@
+#include "crew/core/correlation_clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crew/common/rng.h"
+#include "crew/core/crew_explainer.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+// Distance matrix with `k` planted groups of `per` items: tiny
+// within-group, unit across-group.
+la::Matrix Planted(int k, int per) {
+  const int n = k * per;
+  la::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = (i / per == j / per) ? 0.1 : 0.9;
+      d.At(i, j) = d.At(j, i) = v;
+    }
+  }
+  return d;
+}
+
+TEST(CorrelationClusteringTest, RecoversPlantedGroups) {
+  for (int k : {2, 3, 5}) {
+    const la::Matrix d = Planted(k, 4);
+    const auto labels =
+        CorrelationCluster(d, CorrelationClusteringConfig(), 7);
+    std::set<int> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(static_cast<int>(distinct.size()), k);
+    EXPECT_EQ(CorrelationDisagreements(d, 0.45, labels), 0);
+    // Items in the same planted group share a label.
+    for (size_t i = 0; i < labels.size(); ++i) {
+      EXPECT_EQ(labels[i], labels[(i / 4) * 4]);
+    }
+  }
+}
+
+TEST(CorrelationClusteringTest, LabelsAreDense) {
+  const la::Matrix d = Planted(3, 3);
+  const auto labels = CorrelationCluster(d, CorrelationClusteringConfig(), 3);
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(*distinct.begin(), 0);
+  EXPECT_EQ(*distinct.rbegin(), static_cast<int>(distinct.size()) - 1);
+}
+
+TEST(CorrelationClusteringTest, ThresholdControlsGranularity) {
+  const la::Matrix d = Planted(2, 4);  // within 0.1, across 0.9
+  CorrelationClusteringConfig loose;
+  loose.threshold = 0.95;  // everything is a positive edge
+  const auto one = CorrelationCluster(d, loose, 5);
+  EXPECT_EQ(std::set<int>(one.begin(), one.end()).size(), 1u);
+  CorrelationClusteringConfig strict;
+  strict.threshold = 0.05;  // everything negative -> all singletons
+  const auto many = CorrelationCluster(d, strict, 5);
+  EXPECT_EQ(std::set<int>(many.begin(), many.end()).size(), 8u);
+}
+
+TEST(CorrelationClusteringTest, DeterministicGivenSeed) {
+  const la::Matrix d = Planted(3, 4);
+  const auto a = CorrelationCluster(d, CorrelationClusteringConfig(), 11);
+  const auto b = CorrelationCluster(d, CorrelationClusteringConfig(), 11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CorrelationClusteringTest, TrivialInputs) {
+  la::Matrix empty(0, 0);
+  EXPECT_TRUE(
+      CorrelationCluster(empty, CorrelationClusteringConfig(), 1).empty());
+  la::Matrix one(1, 1);
+  EXPECT_EQ(CorrelationCluster(one, CorrelationClusteringConfig(), 1),
+            (std::vector<int>{0}));
+}
+
+TEST(CorrelationClusteringTest, LocalImprovementNeverHurts) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 8 + rng.UniformInt(8);
+    la::Matrix d(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        d.At(i, j) = d.At(j, i) = rng.Uniform();
+      }
+    }
+    CorrelationClusteringConfig no_polish;
+    no_polish.improvement_sweeps = 0;
+    CorrelationClusteringConfig polish;
+    polish.improvement_sweeps = 3;
+    const auto raw = CorrelationCluster(d, no_polish, 100 + trial);
+    const auto improved = CorrelationCluster(d, polish, 100 + trial);
+    EXPECT_LE(CorrelationDisagreements(d, 0.45, improved),
+              CorrelationDisagreements(d, 0.45, raw));
+  }
+}
+
+TEST(CrewCorrelationBackendTest, ProducesValidClusterExplanation) {
+  testing::TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = testing::MakePair(
+      "anchor alpha beta", "gamma delta", "anchor eps", "zeta eta");
+  CrewConfig config;
+  config.importance.perturbation.num_samples = 96;
+  config.backend = CrewConfig::Backend::kCorrelation;
+  CrewExplainer explainer(nullptr, config);
+  auto e = explainer.ExplainClusters(matcher, pair, 9);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  ASSERT_FALSE(e->units.empty());
+  EXPECT_EQ(static_cast<int>(e->units.size()), e->chosen_k);
+  // Partition property still holds.
+  std::set<int> covered;
+  for (const auto& unit : e->units) {
+    for (int i : unit.member_indices) {
+      EXPECT_TRUE(covered.insert(i).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), e->words.attributions.size());
+}
+
+}  // namespace
+}  // namespace crew

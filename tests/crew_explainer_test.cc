@@ -1,0 +1,216 @@
+#include "crew/core/crew_explainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+CrewConfig FastConfig() {
+  CrewConfig config;
+  config.importance.perturbation.num_samples = 128;
+  return config;
+}
+
+TEST(CrewExplainerTest, ProducesBoundedUnitCount) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}, {"poison", -2.0}});
+  const RecordPair pair =
+      MakePair("anchor alpha beta gamma", "delta epsilon zeta",
+               "poison eta theta", "iota kappa lambda mu");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 1);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_GE(e->chosen_k, 2);
+  EXPECT_LE(e->chosen_k, FastConfig().max_clusters);
+  EXPECT_EQ(static_cast<int>(e->units.size()), e->chosen_k);
+}
+
+TEST(CrewExplainerTest, UnitsPartitionAllWords) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = MakePair("anchor a b", "c d", "e f", "g");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 2);
+  ASSERT_TRUE(e.ok());
+  std::set<int> covered;
+  for (const auto& unit : e->units) {
+    for (int i : unit.member_indices) {
+      EXPECT_TRUE(covered.insert(i).second) << "duplicate member " << i;
+    }
+  }
+  EXPECT_EQ(covered.size(), e->words.attributions.size());
+}
+
+TEST(CrewExplainerTest, UnitsSortedByMagnitude) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}, {"poison", -1.0}});
+  const RecordPair pair =
+      MakePair("anchor filler more", "poison words", "other side", "here");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 3);
+  ASSERT_TRUE(e.ok());
+  for (size_t u = 1; u < e->units.size(); ++u) {
+    EXPECT_GE(std::fabs(e->units[u - 1].weight),
+              std::fabs(e->units[u].weight));
+  }
+}
+
+TEST(CrewExplainerTest, RescoredTopClusterIsFaithful) {
+  // The cluster containing "anchor" must, when deleted, actually drop the
+  // score — guaranteed by construction of the oracle matcher.
+  TokenWeightMatcher matcher({{"anchor", 3.0}});
+  const RecordPair pair =
+      MakePair("anchor one two", "three four", "five six", "seven");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 4);
+  ASSERT_TRUE(e.ok());
+  // Find the unit containing "anchor".
+  double anchor_unit_weight = 0.0;
+  for (const auto& unit : e->units) {
+    for (int i : unit.member_indices) {
+      if (e->words.attributions[i].token.text == "anchor") {
+        anchor_unit_weight = unit.weight;
+      }
+    }
+  }
+  EXPECT_GT(anchor_unit_weight, 0.1);
+}
+
+TEST(CrewExplainerTest, AttributeKnowledgeGroupsByColumn) {
+  // With only attribute knowledge, clusters must be attribute-pure.
+  TokenWeightMatcher matcher({{"anchor", 1.0}});
+  const RecordPair pair = MakePair("a b c", "d e f", "g h", "i j");
+  CrewConfig config = FastConfig();
+  config.affinity = {0.0, 1.0, 0.0};
+  config.auto_k = true;
+  config.min_clusters = 2;
+  config.max_clusters = 2;
+  CrewExplainer explainer(nullptr, config);
+  auto e = explainer.ExplainClusters(matcher, pair, 5);
+  ASSERT_TRUE(e.ok());
+  for (const auto& unit : e->units) {
+    std::set<int> attrs;
+    for (int i : unit.member_indices) {
+      attrs.insert(e->words.attributions[i].token.attribute);
+    }
+    EXPECT_EQ(attrs.size(), 1u);
+  }
+}
+
+TEST(CrewExplainerTest, FixedKWhenAutoOff) {
+  TokenWeightMatcher matcher({});
+  const RecordPair pair = MakePair("a b c d", "e f g h", "i j", "k l");
+  CrewConfig config = FastConfig();
+  config.auto_k = false;
+  config.max_clusters = 3;
+  CrewExplainer explainer(nullptr, config);
+  auto e = explainer.ExplainClusters(matcher, pair, 6);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->chosen_k, 3);
+}
+
+TEST(CrewExplainerTest, WordInterfaceSharesClusterWeight) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = MakePair("anchor b", "c d", "e f", "g h");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto clusters = explainer.ExplainClusters(matcher, pair, 7);
+  auto words = explainer.Explain(matcher, pair, 7);
+  ASSERT_TRUE(clusters.ok() && words.ok());
+  // Every word's weight equals its cluster weight / cluster size.
+  for (const auto& unit : clusters->units) {
+    const double share = unit.weight / unit.member_indices.size();
+    for (int i : unit.member_indices) {
+      EXPECT_NEAR(words->attributions[i].weight, share, 1e-9);
+    }
+  }
+}
+
+TEST(CrewExplainerTest, DeterministicGivenSeed) {
+  TokenWeightMatcher matcher({{"anchor", 1.5}});
+  const RecordPair pair = MakePair("anchor b c", "d e", "f g", "h");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto a = explainer.ExplainClusters(matcher, pair, 11);
+  auto b = explainer.ExplainClusters(matcher, pair, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->units.size(), b->units.size());
+  for (size_t u = 0; u < a->units.size(); ++u) {
+    EXPECT_DOUBLE_EQ(a->units[u].weight, b->units[u].weight);
+    EXPECT_EQ(a->units[u].member_indices, b->units[u].member_indices);
+  }
+}
+
+TEST(CrewExplainerTest, EmptyPair) {
+  TokenWeightMatcher matcher({});
+  const RecordPair pair = MakePair("", "", "", "");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->units.empty());
+  EXPECT_EQ(e->chosen_k, 0);
+}
+
+TEST(CrewExplainerTest, SumOfMembersWhenRescoreOff) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = MakePair("anchor b", "c", "d e", "f");
+  CrewConfig config = FastConfig();
+  config.rescore_clusters = false;
+  CrewExplainer explainer(nullptr, config);
+  auto e = explainer.ExplainClusters(matcher, pair, 3);
+  ASSERT_TRUE(e.ok());
+  for (const auto& unit : e->units) {
+    double sum = 0.0;
+    for (int i : unit.member_indices) {
+      sum += e->words.attributions[i].weight;
+    }
+    EXPECT_NEAR(unit.weight, sum, 1e-9);
+  }
+}
+
+TEST(ClusterExplanationTest, ToStringMentionsUnits) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = MakePair("anchor b", "c", "d", "e");
+  CrewExplainer explainer(nullptr, FastConfig());
+  auto e = explainer.ExplainClusters(matcher, pair, 8);
+  ASSERT_TRUE(e.ok());
+  const std::string text = e->ToString();
+  EXPECT_NE(text.find("prediction:"), std::string::npos);
+  EXPECT_NE(text.find("anchor"), std::string::npos);
+}
+
+TEST(SingletonUnitsTest, OnePerWordSortedByMagnitude) {
+  WordExplanation words;
+  TokenRef t;
+  t.text = "small";
+  words.attributions.push_back({t, 0.1});
+  t.text = "big";
+  words.attributions.push_back({t, -2.0});
+  const auto units = SingletonUnits(words);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].label, "big");
+  EXPECT_EQ(units[0].member_indices, (std::vector<int>{1}));
+  EXPECT_EQ(units[1].label, "small");
+}
+
+TEST(MakeUnitLabelTest, TopThreeByMagnitude) {
+  WordExplanation words;
+  for (const auto& [text, weight] :
+       std::vector<std::pair<std::string, double>>{
+           {"w1", 0.1}, {"w2", 5.0}, {"w3", -3.0}, {"w4", 1.0}}) {
+    TokenRef t;
+    t.text = text;
+    words.attributions.push_back({t, weight});
+  }
+  EXPECT_EQ(MakeUnitLabel(words, {0, 1, 2, 3}), "w2 + w3 + w4");
+  EXPECT_EQ(MakeUnitLabel(words, {0}), "w1");
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,117 @@
+#include "crew/data/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, QuotedFieldsWithCommasNewlinesQuotes) {
+  auto rows = ParseCsv("\"a,b\",\"line1\nline2\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "line1\nline2");
+  EXPECT_EQ((*rows)[0][2], "say \"hi\"");
+}
+
+TEST(ParseCsvTest, CrLfAndMissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  auto rows = ParseCsv(",\na,,b\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"", ""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(ParseCsvTest, Errors) {
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("ab\"cd\n").ok());  // quote mid-field
+}
+
+TEST(WriteCsvTest, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(WriteCsv({{"a", "b,c"}}), "a,\"b,c\"\n");
+}
+
+TEST(CsvRoundTripTest, ArbitraryContentSurvives) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"normal", "with,comma", "with\nnewline"},
+      {"with \"quotes\"", "", "  spaces  "},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(DatasetCsvTest, RoundTrip) {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  s.AddAttribute("price", AttributeType::kText);
+  Dataset d(s);
+  RecordPair p;
+  p.left.values = {"acme, inc", "10"};
+  p.right.values = {"acme", "12"};
+  p.label = 0;
+  d.Add(p);
+  p.label = 1;
+  d.Add(p);
+
+  auto loaded = LoadDatasetCsv(DatasetToCsv(d));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2);
+  EXPECT_EQ(loaded->schema().name(0), "name");
+  EXPECT_EQ(loaded->pair(0).left.values[0], "acme, inc");
+  EXPECT_EQ(loaded->pair(0).label, 0);
+  EXPECT_EQ(loaded->pair(1).label, 1);
+}
+
+TEST(DatasetCsvTest, HeaderValidation) {
+  EXPECT_FALSE(LoadDatasetCsv("").ok());
+  EXPECT_FALSE(LoadDatasetCsv("x,y,z\n").ok());
+  EXPECT_FALSE(LoadDatasetCsv("label,left_a,right_b\n").ok());  // name clash
+  EXPECT_TRUE(LoadDatasetCsv("label,left_a,right_a\n").ok());
+}
+
+TEST(DatasetCsvTest, RowValidation) {
+  const std::string header = "label,left_a,right_a\n";
+  EXPECT_FALSE(LoadDatasetCsv(header + "2,x,y\n").ok());   // bad label
+  EXPECT_FALSE(LoadDatasetCsv(header + "1,x\n").ok());     // short row
+  auto ok = LoadDatasetCsv(header + "1,x,y\n0,p,q\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2);
+}
+
+TEST(DatasetCsvTest, FileRoundTrip) {
+  Schema s;
+  s.AddAttribute("a", AttributeType::kText);
+  Dataset d(s);
+  RecordPair p;
+  p.left.values = {"hello"};
+  p.right.values = {"world"};
+  p.label = 1;
+  d.Add(p);
+  const std::string path = ::testing::TempDir() + "/crew_csv_test.csv";
+  ASSERT_TRUE(SaveDatasetCsvFile(d, path).ok());
+  auto loaded = LoadDatasetCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->pair(0).right.values[0], "world");
+  EXPECT_FALSE(LoadDatasetCsvFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,88 @@
+#include "crew/data/dataset.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+Dataset MakeDataset(int matches, int nonmatches) {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  Dataset d(s);
+  for (int i = 0; i < matches; ++i) {
+    RecordPair p;
+    p.left.values = {"widget " + std::to_string(i)};
+    p.right.values = {"widget " + std::to_string(i)};
+    p.label = 1;
+    d.Add(std::move(p));
+  }
+  for (int i = 0; i < nonmatches; ++i) {
+    RecordPair p;
+    p.left.values = {"gadget " + std::to_string(i)};
+    p.right.values = {"gizmo " + std::to_string(i + 1000)};
+    p.label = 0;
+    d.Add(std::move(p));
+  }
+  return d;
+}
+
+TEST(DatasetTest, SizeAndMatchCount) {
+  Dataset d = MakeDataset(3, 7);
+  EXPECT_EQ(d.size(), 10);
+  EXPECT_EQ(d.MatchCount(), 3);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(Dataset().empty());
+}
+
+TEST(DatasetTest, StratifiedSplitPreservesRatio) {
+  Dataset d = MakeDataset(40, 60);
+  Rng rng(3);
+  Dataset train, test;
+  d.Split(0.7, rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), 100);
+  EXPECT_EQ(train.MatchCount(), 28);  // 0.7 * 40
+  EXPECT_EQ(test.MatchCount(), 12);
+  EXPECT_EQ(train.size(), 70);
+}
+
+TEST(DatasetTest, SplitIsDisjointAndComplete) {
+  Dataset d = MakeDataset(10, 10);
+  Rng rng(4);
+  Dataset train, test;
+  d.Split(0.5, rng, &train, &test);
+  // Every original left value appears exactly once across the two halves.
+  std::multiset<std::string> seen;
+  for (const auto& p : train.pairs()) seen.insert(p.left.values[0]);
+  for (const auto& p : test.pairs()) seen.insert(p.left.values[0]);
+  std::multiset<std::string> expected;
+  for (const auto& p : d.pairs()) expected.insert(p.left.values[0]);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DatasetTest, BuildVocabularyCountsAllTokens) {
+  Dataset d = MakeDataset(2, 0);
+  const Vocabulary vocab = d.BuildVocabulary(Tokenizer());
+  EXPECT_TRUE(vocab.Contains("widget"));
+  EXPECT_EQ(vocab.CountOf(vocab.GetId("widget")), 4);  // 2 pairs x 2 sides
+  EXPECT_TRUE(vocab.Contains("0"));
+  EXPECT_TRUE(vocab.Contains("1"));
+}
+
+TEST(DatasetTest, ComputeStats) {
+  Dataset d = MakeDataset(5, 5);
+  const DatasetStats stats = ComputeStats(d, Tokenizer());
+  EXPECT_EQ(stats.pairs, 10);
+  EXPECT_EQ(stats.matches, 5);
+  EXPECT_DOUBLE_EQ(stats.match_ratio, 0.5);
+  EXPECT_GT(stats.vocabulary_size, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_tokens_per_record, 2.0);
+  // Matches are identical strings -> Jaccard 1; non-matches share no token.
+  EXPECT_DOUBLE_EQ(stats.avg_token_overlap_match, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_token_overlap_nonmatch, 0.0);
+}
+
+}  // namespace
+}  // namespace crew

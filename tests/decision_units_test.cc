@@ -1,0 +1,147 @@
+#include "crew/core/decision_units.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+PairTokenView MakeView(const RecordPair& pair) {
+  return PairTokenView(AnonymousSchema(pair), Tokenizer(), pair);
+}
+
+TEST(BuildDecisionUnitsTest, ExactTokensPair) {
+  const RecordPair pair = MakePair("acme router", "", "acme switch", "");
+  const auto view = MakeView(pair);
+  const auto units = BuildDecisionUnits(view, nullptr, DecisionUnitConfig());
+  // acme<->acme paired; router and switch unpaired -> 3 units.
+  ASSERT_EQ(units.size(), 3u);
+  int paired = 0;
+  for (const auto& u : units) {
+    if (u.IsPaired()) {
+      ++paired;
+      EXPECT_EQ(view.token(u.left_token).text, "acme");
+      EXPECT_EQ(view.token(u.right_token).text, "acme");
+      EXPECT_DOUBLE_EQ(u.similarity, 1.0);
+    }
+  }
+  EXPECT_EQ(paired, 1);
+}
+
+TEST(BuildDecisionUnitsTest, TypoVariantsPairViaStringSimilarity) {
+  const RecordPair pair =
+      MakePair("corporation", "", "corporaiton", "");
+  const auto view = MakeView(pair);
+  const auto units = BuildDecisionUnits(view, nullptr, DecisionUnitConfig());
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_TRUE(units[0].IsPaired());
+  EXPECT_GT(units[0].similarity, 0.9);
+}
+
+TEST(BuildDecisionUnitsTest, EveryTokenInExactlyOneUnit) {
+  const RecordPair pair =
+      MakePair("a b c shared", "x", "shared y z", "x w");
+  const auto view = MakeView(pair);
+  const auto units = BuildDecisionUnits(view, nullptr, DecisionUnitConfig());
+  std::set<int> covered;
+  for (const auto& u : units) {
+    if (u.left_token >= 0) {
+      EXPECT_TRUE(covered.insert(u.left_token).second);
+    }
+    if (u.right_token >= 0) {
+      EXPECT_TRUE(covered.insert(u.right_token).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), view.size());
+}
+
+TEST(BuildDecisionUnitsTest, ThresholdControlsPairing) {
+  const RecordPair pair = MakePair("roster", "", "router", "");
+  const auto view = MakeView(pair);
+  DecisionUnitConfig loose;
+  loose.pairing_threshold = 0.6;
+  DecisionUnitConfig strict;
+  strict.pairing_threshold = 0.99;
+  EXPECT_EQ(BuildDecisionUnits(view, nullptr, loose).size(), 1u);
+  EXPECT_EQ(BuildDecisionUnits(view, nullptr, strict).size(), 2u);
+}
+
+TEST(BuildDecisionUnitsTest, SameAttributePreferredOnTies) {
+  // "x" appears twice on the right (attr0 and attr1); the left "x" in
+  // attr1 must pair with the right attr1 occurrence.
+  const RecordPair pair = MakePair("", "x", "x", "x");
+  const auto view = MakeView(pair);
+  const auto units = BuildDecisionUnits(view, nullptr, DecisionUnitConfig());
+  bool found_same_attr_pair = false;
+  for (const auto& u : units) {
+    if (u.IsPaired() && view.token(u.left_token).attribute == 1) {
+      EXPECT_EQ(view.token(u.right_token).attribute, 1);
+      found_same_attr_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_same_attr_pair);
+}
+
+TEST(DecisionUnitExplainerTest, PairedUnitCarriesMatchEvidence) {
+  // The matcher rewards "anchor" wherever it appears; the paired
+  // anchor<->anchor unit removes BOTH occurrences at once, so its weight
+  // reflects the full joint effect.
+  TokenWeightMatcher matcher({{"anchor", 1.5}});
+  const RecordPair pair =
+      MakePair("anchor filler", "", "anchor other", "");
+  DecisionUnitConfig config;
+  config.perturbation.num_samples = 256;
+  DecisionUnitExplainer explainer(nullptr, config);
+  auto result = explainer.ExplainUnits(matcher, pair, 5);
+  ASSERT_TRUE(result.ok());
+  const auto& units = result->second;
+  // Top unit must be the anchor pair.
+  ASSERT_FALSE(units.empty());
+  EXPECT_EQ(units[0].member_indices.size(), 2u);
+  EXPECT_GT(units[0].weight, 0.1);
+  EXPECT_NE(units[0].label.find("paired"), std::string::npos);
+}
+
+TEST(DecisionUnitExplainerTest, WordInterfaceMatchesUnits) {
+  TokenWeightMatcher matcher({{"anchor", 1.0}});
+  const RecordPair pair = MakePair("anchor b", "", "anchor c", "");
+  DecisionUnitConfig config;
+  config.perturbation.num_samples = 128;
+  DecisionUnitExplainer explainer(nullptr, config);
+  auto units = explainer.ExplainUnits(matcher, pair, 6);
+  auto words = explainer.Explain(matcher, pair, 6);
+  ASSERT_TRUE(units.ok() && words.ok());
+  EXPECT_EQ(words->attributions.size(), 4u);
+  EXPECT_EQ(explainer.Name(), "wym");
+}
+
+TEST(DecisionUnitExplainerTest, EmptyPair) {
+  TokenWeightMatcher matcher({});
+  DecisionUnitExplainer explainer(nullptr);
+  auto result =
+      explainer.ExplainUnits(matcher, MakePair("", "", "", ""), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->second.empty());
+}
+
+TEST(DecisionUnitExplainerTest, DeterministicGivenSeed) {
+  TokenWeightMatcher matcher({{"anchor", 1.0}});
+  const RecordPair pair = MakePair("anchor b c", "", "anchor d", "");
+  DecisionUnitExplainer explainer(nullptr);
+  auto a = explainer.ExplainUnits(matcher, pair, 9);
+  auto b = explainer.ExplainUnits(matcher, pair, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->second.size(), b->second.size());
+  for (size_t i = 0; i < a->second.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->second[i].weight, b->second[i].weight);
+  }
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,64 @@
+#include "crew/embed/embedding_io.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+EmbeddingStore MakeStore() {
+  Vocabulary vocab;
+  vocab.Add("alpha");
+  vocab.Add("beta");
+  vocab.Add("gamma");
+  la::Matrix vectors(3, 2);
+  vectors.At(0, 0) = 1.0;
+  vectors.At(1, 1) = 1.0;
+  vectors.At(2, 0) = 0.6;
+  vectors.At(2, 1) = 0.8;
+  return EmbeddingStore(std::move(vocab), std::move(vectors));
+}
+
+TEST(EmbeddingIoTest, TextRoundTrip) {
+  const EmbeddingStore store = MakeStore();
+  auto loaded = EmbeddingsFromText(EmbeddingsToText(store));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 3);
+  EXPECT_EQ(loaded->dim(), 2);
+  for (const char* token : {"alpha", "beta", "gamma"}) {
+    EXPECT_TRUE(loaded->Contains(token));
+    // Cosine structure preserved (vectors are unit rows in both stores).
+    EXPECT_NEAR(loaded->Similarity(token, token), 1.0, 1e-5);
+  }
+  EXPECT_NEAR(loaded->Similarity("alpha", "gamma"),
+              store.Similarity("alpha", "gamma"), 1e-5);
+}
+
+TEST(EmbeddingIoTest, HeaderFormat) {
+  const std::string text = EmbeddingsToText(MakeStore());
+  EXPECT_EQ(text.substr(0, 4), "3 2\n");
+}
+
+TEST(EmbeddingIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(EmbeddingsFromText("").ok());
+  EXPECT_FALSE(EmbeddingsFromText("garbage\n").ok());
+  EXPECT_FALSE(EmbeddingsFromText("2 0\n").ok());          // bad dim
+  EXPECT_FALSE(EmbeddingsFromText("1 2\nfoo 0.5\n").ok()); // short row
+  EXPECT_FALSE(EmbeddingsFromText("1 1\nfoo x\n").ok());   // bad number
+  EXPECT_FALSE(EmbeddingsFromText("2 1\nfoo 1\n").ok());   // missing row
+  EXPECT_FALSE(
+      EmbeddingsFromText("1 1\nfoo 1\nbar 2\n").ok());     // extra row
+  EXPECT_FALSE(
+      EmbeddingsFromText("2 1\nfoo 1\nfoo 2\n").ok());     // duplicate
+}
+
+TEST(EmbeddingIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/crew_embeddings.txt";
+  ASSERT_TRUE(SaveEmbeddingsFile(MakeStore(), path).ok());
+  auto loaded = LoadEmbeddingsFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3);
+  EXPECT_FALSE(LoadEmbeddingsFile("/nonexistent/embeddings.txt").ok());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,289 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crew/data/dataset.h"
+#include "crew/explain/certa.h"
+#include "crew/explain/landmark.h"
+#include "crew/explain/lemon.h"
+#include "crew/explain/lime.h"
+#include "crew/explain/mojito.h"
+#include "crew/explain/random_explainer.h"
+#include "crew/explain/shap.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+// A support dataset for CERTA's counterfactual pools.
+Dataset MakeSupport() {
+  Schema s;
+  s.AddAttribute("a0", AttributeType::kText);
+  s.AddAttribute("a1", AttributeType::kText);
+  Dataset d(s);
+  for (const char* w : {"filler", "noise", "padding", "blank", "other"}) {
+    RecordPair p;
+    p.left.values = {w, w};
+    p.right.values = {w, w};
+    p.label = 0;
+    d.Add(p);
+  }
+  return d;
+}
+
+// The crafted setup: the oracle matcher puts weight only on "anchor"
+// (strongly positive) and "poison" (strongly negative); every other token
+// is irrelevant. A sane explainer must rank anchor (and poison) above the
+// filler tokens.
+struct ExplainerCase {
+  std::string name;
+  std::shared_ptr<Explainer> explainer;
+};
+
+std::vector<ExplainerCase> AllWordExplainers() {
+  std::vector<ExplainerCase> cases;
+  LimeConfig lime;
+  lime.perturbation.num_samples = 256;
+  cases.push_back({"lime", std::make_shared<LimeExplainer>(lime)});
+  MojitoConfig drop;
+  drop.perturbation.num_samples = 256;
+  cases.push_back({"mojito_drop", std::make_shared<MojitoExplainer>(drop)});
+  LandmarkConfig landmark;
+  landmark.perturbation.num_samples = 256;
+  cases.push_back(
+      {"landmark", std::make_shared<LandmarkExplainer>(landmark)});
+  LemonConfig lemon;
+  lemon.perturbation.num_samples = 256;
+  cases.push_back({"lemon", std::make_shared<LemonExplainer>(lemon)});
+  cases.push_back(
+      {"certa", std::make_shared<CertaExplainer>(MakeSupport())});
+  KernelShapConfig shap;
+  shap.num_samples = 256;
+  cases.push_back(
+      {"kernel_shap", std::make_shared<KernelShapExplainer>(shap)});
+  return cases;
+}
+
+class WordExplainerTest
+    : public ::testing::TestWithParam<ExplainerCase> {};
+
+TEST_P(WordExplainerTest, RanksDecisiveTokenFirst) {
+  TokenWeightMatcher matcher({{"anchor", 2.5}, {"poison", -2.0}});
+  const RecordPair pair =
+      MakePair("anchor filler noise", "poison padding",
+               "blank anchor", "other filler");
+  auto explanation = GetParam().explainer->Explain(matcher, pair, 42);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  const auto& attributions = explanation.value().attributions;
+  ASSERT_FALSE(attributions.empty());
+  // The top-3 tokens by |weight| must include an "anchor" or "poison".
+  int decisive_in_top3 = 0;
+  const auto ranked = explanation.value().RankedByMagnitude();
+  for (int i = 0; i < 3 && i < static_cast<int>(ranked.size()); ++i) {
+    const std::string& text = attributions[ranked[i]].token.text;
+    if (text == "anchor" || text == "poison") ++decisive_in_top3;
+  }
+  EXPECT_GE(decisive_in_top3, 1) << GetParam().name;
+}
+
+TEST_P(WordExplainerTest, SignsFollowTokenDirection) {
+  TokenWeightMatcher matcher({{"anchor", 2.5}, {"poison", -2.5}});
+  const RecordPair pair =
+      MakePair("anchor filler", "poison", "anchor other", "x");
+  auto explanation = GetParam().explainer->Explain(matcher, pair, 43);
+  ASSERT_TRUE(explanation.ok());
+  double anchor_weight = 0.0, poison_weight = 0.0;
+  for (const auto& a : explanation.value().attributions) {
+    if (a.token.text == "anchor") anchor_weight += a.weight;
+    if (a.token.text == "poison") poison_weight += a.weight;
+  }
+  EXPECT_GT(anchor_weight, poison_weight) << GetParam().name;
+}
+
+TEST_P(WordExplainerTest, DeterministicGivenSeed) {
+  TokenWeightMatcher matcher({{"anchor", 1.0}});
+  const RecordPair pair = MakePair("anchor b c", "d", "e f", "g");
+  auto a = GetParam().explainer->Explain(matcher, pair, 7);
+  auto b = GetParam().explainer->Explain(matcher, pair, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->attributions.size(), b->attributions.size());
+  for (size_t i = 0; i < a->attributions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->attributions[i].weight, b->attributions[i].weight);
+  }
+}
+
+TEST_P(WordExplainerTest, CoversEveryToken) {
+  TokenWeightMatcher matcher({{"anchor", 1.0}});
+  const RecordPair pair = MakePair("anchor b", "c d", "e", "f g h");
+  auto explanation = GetParam().explainer->Explain(matcher, pair, 11);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->attributions.size(), 8u);
+  // Attribution order mirrors the token view (left then right).
+  EXPECT_EQ(explanation->attributions[0].token.text, "anchor");
+  EXPECT_EQ(explanation->attributions[0].token.side, Side::kLeft);
+}
+
+TEST_P(WordExplainerTest, EmptyPairYieldsEmptyExplanation) {
+  TokenWeightMatcher matcher({});
+  const RecordPair pair = MakePair("", "", "", "");
+  auto explanation = GetParam().explainer->Explain(matcher, pair, 1);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->attributions.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExplainers, WordExplainerTest,
+                         ::testing::ValuesIn(AllWordExplainers()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(MojitoCopyTest, DecisiveAttributeDominatesInertOne) {
+  // Matcher rewards the token "k" on either side. Attribute 0 differs
+  // between the records ("k" vs "unrelated"): copying it in either
+  // direction moves the prediction. Attribute 1 is identical on both sides
+  // ("same"): copying it is a no-op. Mojito-copy must therefore give
+  // attribute 0's tokens much larger |weight| than attribute 1's.
+  TokenWeightMatcher matcher({{"k", 1.5}});
+  const RecordPair pair = MakePair("k", "same", "unrelated", "same");
+  MojitoConfig config;
+  config.mode = MojitoMode::kCopy;
+  config.perturbation.num_samples = 256;
+  MojitoExplainer explainer(config);
+  auto explanation = explainer.Explain(matcher, pair, 5);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explainer.Name(), "mojito_copy");
+  double attr0 = 0.0, attr1 = 0.0;
+  for (const auto& a : explanation->attributions) {
+    (a.token.attribute == 0 ? attr0 : attr1) += std::fabs(a.weight);
+  }
+  EXPECT_GT(attr0, 2.0 * attr1);
+}
+
+TEST(LandmarkTest, InjectionHelpsNonMatchExplanations) {
+  // Non-match with zero overlap: pure drops cannot raise the score, but
+  // injecting the landmark's "anchor" token can.
+  TokenWeightMatcher matcher({{"anchor", 3.0}}, /*bias=*/-2.0);
+  const RecordPair pair = MakePair("anchor alpha", "", "beta gamma", "");
+  LandmarkConfig with;
+  with.perturbation.num_samples = 256;
+  with.injection = LandmarkInjection::kAlways;
+  LandmarkConfig without = with;
+  without.injection = LandmarkInjection::kNever;
+  auto e_with = LandmarkExplainer(with).Explain(matcher, pair, 3);
+  auto e_without = LandmarkExplainer(without).Explain(matcher, pair, 3);
+  ASSERT_TRUE(e_with.ok() && e_without.ok());
+  // Both run; injection must not corrupt the base score.
+  EXPECT_DOUBLE_EQ(e_with->base_score, e_without->base_score);
+}
+
+TEST(LemonTest, AttributionPotentialFindsCounterfactualToken) {
+  // "anchor" only helps when present on BOTH sides (simulated by a matcher
+  // weighting it strongly); LEMON's injection term should give the right
+  // side's unique token "special" a visible weight even though dropping it
+  // changes little.
+  TokenWeightMatcher matcher({{"special", 2.0}}, /*bias=*/-1.0);
+  const RecordPair pair = MakePair("common words here", "", "special", "");
+  LemonConfig config;
+  config.perturbation.num_samples = 512;
+  LemonExplainer explainer(config);
+  auto explanation = explainer.Explain(matcher, pair, 9);
+  ASSERT_TRUE(explanation.ok());
+  double special_weight = 0.0;
+  for (const auto& a : explanation->attributions) {
+    if (a.token.text == "special") special_weight = a.weight;
+  }
+  EXPECT_GT(special_weight, 0.0);
+}
+
+TEST(CertaTest, SubstitutionSaliencyDirection) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair = MakePair("anchor filler", "noise", "blank", "other");
+  CertaExplainer explainer(MakeSupport());
+  auto explanation = explainer.Explain(matcher, pair, 21);
+  ASSERT_TRUE(explanation.ok());
+  // Replacing "anchor" with pool junk loses its bonus -> positive saliency.
+  double anchor_weight = 0.0, filler_weight = 0.0;
+  for (const auto& a : explanation->attributions) {
+    if (a.token.text == "anchor") anchor_weight = a.weight;
+    if (a.token.text == "filler") filler_weight = a.weight;
+  }
+  EXPECT_GT(anchor_weight, 0.3);
+  EXPECT_NEAR(filler_weight, 0.0, 0.05);
+}
+
+TEST(CertaTest, RejectsNarrowSupportSchema) {
+  Schema narrow;
+  narrow.AddAttribute("only", AttributeType::kText);
+  Dataset support(narrow);
+  RecordPair sp;
+  sp.left.values = {"x"};
+  sp.right.values = {"y"};
+  support.Add(sp);
+  CertaExplainer explainer(support);
+  TokenWeightMatcher matcher({});
+  const RecordPair wide = MakePair("a", "b", "c", "d");  // 2 attributes
+  EXPECT_FALSE(explainer.Explain(matcher, wide, 1).ok());
+}
+
+TEST(KernelShapTest, EfficiencyPropertyApproximatelyHolds) {
+  // Shapley efficiency: sum of attributions ~= f(x) - f(empty). The anchor
+  // rows enforce this up to ridge shrinkage.
+  TokenWeightMatcher matcher({{"anchor", 2.0}, {"poison", -1.0}}, 0.3);
+  const RecordPair pair = MakePair("anchor filler", "poison", "other", "x");
+  KernelShapConfig config;
+  config.num_samples = 512;
+  KernelShapExplainer shap(config);
+  auto explanation = shap.Explain(matcher, pair, 17);
+  ASSERT_TRUE(explanation.ok());
+  double sum = 0.0;
+  for (const auto& a : explanation->attributions) sum += a.weight;
+  const double f_empty = la::Sigmoid(0.3);  // bias only
+  EXPECT_NEAR(sum, explanation->base_score - f_empty, 0.1);
+}
+
+TEST(KernelShapTest, SingleTokenIsExactDifference) {
+  TokenWeightMatcher matcher({{"solo", 1.5}}, -0.5);
+  const RecordPair pair = MakePair("solo", "", "", "");
+  KernelShapExplainer shap;
+  auto explanation = shap.Explain(matcher, pair, 1);
+  ASSERT_TRUE(explanation.ok());
+  ASSERT_EQ(explanation->attributions.size(), 1u);
+  EXPECT_NEAR(explanation->attributions[0].weight,
+              la::Sigmoid(1.0) - la::Sigmoid(-0.5), 1e-9);
+}
+
+TEST(RandomExplainerTest, SeedControlsWeights) {
+  TokenWeightMatcher matcher({});
+  const RecordPair pair = MakePair("a b c", "d", "e", "f");
+  RandomExplainer explainer;
+  auto a = explainer.Explain(matcher, pair, 1);
+  auto b = explainer.Explain(matcher, pair, 1);
+  auto c = explainer.Explain(matcher, pair, 2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_DOUBLE_EQ(a->attributions[0].weight, b->attributions[0].weight);
+  EXPECT_NE(a->attributions[0].weight, c->attributions[0].weight);
+}
+
+TEST(WordExplanationTest, RankedBySupportRespectsPredictedClass) {
+  WordExplanation e;
+  e.base_score = 0.9;  // predicted match
+  TokenRef t;
+  e.attributions = {{t, -1.0}, {t, 2.0}, {t, 0.5}};
+  EXPECT_EQ(e.RankedBySupport()[0], 1);  // largest positive first
+  e.base_score = 0.1;  // predicted non-match
+  EXPECT_EQ(e.RankedBySupport()[0], 0);  // most negative first
+}
+
+TEST(WordExplanationTest, TopTokens) {
+  WordExplanation e;
+  TokenRef a, b;
+  a.text = "big";
+  b.text = "small";
+  e.attributions = {{b, 0.1}, {a, -5.0}};
+  EXPECT_EQ(e.TopTokens(1), (std::vector<std::string>{"big"}));
+}
+
+}  // namespace
+}  // namespace crew

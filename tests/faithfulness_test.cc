@@ -1,0 +1,195 @@
+#include "crew/eval/faithfulness.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+// Instance where ground truth is fully known: score =
+// sigmoid(2*anchor + 1*helper - 2*poison). Units are singletons in view
+// order: anchor(0) helper(1) junk(2) | poison(3) junk2(4).
+struct Oracle {
+  TokenWeightMatcher matcher{
+      {{"anchor", 2.0}, {"helper", 1.0}, {"poison", -2.0}}};
+  RecordPair pair = MakePair("anchor helper junk", "", "poison junk2", "");
+  PairTokenView view{AnonymousSchema(pair), Tokenizer(), pair};
+
+  EvalInstance MakeInstance(std::vector<double> weights,
+                            double threshold = 0.5) {
+    std::vector<ExplanationUnit> units;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      ExplanationUnit u;
+      u.member_indices = {static_cast<int>(i)};
+      u.weight = weights[i];
+      units.push_back(u);
+    }
+    return EvalInstance{view, units, matcher.PredictProba(pair), threshold};
+  }
+};
+
+TEST(FaithfulnessTest, PredictedClassProb) {
+  EXPECT_DOUBLE_EQ(PredictedClassProb(0.8, true), 0.8);
+  EXPECT_DOUBLE_EQ(PredictedClassProb(0.8, false), 0.2);
+}
+
+TEST(FaithfulnessTest, RankUnitsBySupportForMatch) {
+  Oracle s;
+  // base = sigmoid(1) > 0.5 -> predicted match; ranking = descending weight.
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  EXPECT_TRUE(inst.PredictedMatch());
+  const auto ranked = inst.RankUnitsBySupport();
+  EXPECT_EQ(ranked[0], 0);
+  EXPECT_EQ(ranked[1], 1);
+  EXPECT_EQ(ranked.back(), 3);
+}
+
+TEST(FaithfulnessTest, GoodExplanationBeatsBadOnComprehensiveness) {
+  Oracle s;
+  // Good explanation: true weights. Bad: inverted.
+  auto good = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  auto bad = s.MakeInstance({-2.0, -1.0, 0.0, 2.0, 0.0});
+  const double cg = ComprehensivenessAtK(s.matcher, good, 1);
+  const double cb = ComprehensivenessAtK(s.matcher, bad, 1);
+  EXPECT_GT(cg, cb);
+  EXPECT_GT(cg, 0.0);  // removing "anchor" really drops the match prob
+}
+
+TEST(FaithfulnessTest, ComprehensivenessExactValue) {
+  Oracle s;
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  // Removing unit 0 ("anchor"): logit 1 -> -1.
+  const double expected =
+      la::Sigmoid(1.0) - la::Sigmoid(-1.0);
+  EXPECT_NEAR(ComprehensivenessAtK(s.matcher, inst, 1), expected, 1e-9);
+}
+
+TEST(FaithfulnessTest, SufficiencyLowForFaithfulExplanation) {
+  Oracle s;
+  auto good = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  // Keeping the top-2 supporting units (anchor+helper) keeps logit 3 >
+  // base logit 1, so predicted-class prob does not drop: sufficiency <= 0.
+  EXPECT_LE(SufficiencyAtK(s.matcher, good, 2), 0.0);
+}
+
+TEST(FaithfulnessTest, AopcIsMeanOverK) {
+  Oracle s;
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  const double c1 = ComprehensivenessAtK(s.matcher, inst, 1);
+  const double c2 = ComprehensivenessAtK(s.matcher, inst, 2);
+  const double c3 = ComprehensivenessAtK(s.matcher, inst, 3);
+  EXPECT_NEAR(AopcDeletion(s.matcher, inst, 3), (c1 + c2 + c3) / 3.0, 1e-12);
+}
+
+TEST(FaithfulnessTest, TokenBudgetCountsWords) {
+  Oracle s;
+  // One multi-word unit covering anchor+helper, then singletons.
+  std::vector<ExplanationUnit> units(3);
+  units[0].member_indices = {0, 1};
+  units[0].weight = 3.0;
+  units[1].member_indices = {2};
+  units[1].weight = 0.0;
+  units[2].member_indices = {3};
+  units[2].weight = -2.0;
+  EvalInstance inst{s.view, units, s.matcher.PredictProba(s.pair), 0.5};
+  // Budget 2 is satisfied by the first unit alone.
+  const double drop = ComprehensivenessAtTokenBudget(s.matcher, inst, 2);
+  const double expected = la::Sigmoid(1.0) - la::Sigmoid(-2.0);
+  EXPECT_NEAR(drop, expected, 1e-9);
+}
+
+TEST(FaithfulnessTest, DecisionFlip) {
+  Oracle s;
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  // Removing anchor: logit -1 -> non-match: flip.
+  EXPECT_TRUE(DecisionFlipAtTop(s.matcher, inst));
+  // With an uninformative explanation deleting junk first: no flip.
+  auto dull = s.MakeInstance({0.0, 0.0, 5.0, 0.0, 0.0});
+  EXPECT_FALSE(DecisionFlipAtTop(s.matcher, dull));
+}
+
+TEST(FaithfulnessTest, DeletionCurveStartsAtBase) {
+  Oracle s;
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  const auto curve = DeletionCurve(s.matcher, inst, {0.0, 0.5, 1.0});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_NEAR(curve[0], la::Sigmoid(1.0), 1e-12);
+  // Removing everything supporting the match leaves at most the base.
+  EXPECT_LE(curve[2], curve[0]);
+}
+
+TEST(FaithfulnessTest, NonMatchInstanceUsesInvertedRanking) {
+  Oracle s;
+  // Force predicted non-match with threshold above base score.
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0}, /*threshold=*/0.99);
+  EXPECT_FALSE(inst.PredictedMatch());
+  // Top supporting unit for non-match is "poison"; removing it RAISES the
+  // match score, i.e. drops the non-match probability: positive.
+  EXPECT_GT(ComprehensivenessAtK(s.matcher, inst, 1), 0.0);
+  EXPECT_EQ(inst.RankUnitsBySupport()[0], 3);
+}
+
+TEST(FaithfulnessTest, InsertionRecoversWithGoodExplanation) {
+  Oracle s;
+  auto good = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  auto bad = s.MakeInstance({0.0, 0.0, 5.0, 0.0, 4.0});
+  // Re-inserting the true drivers first recovers the prediction faster.
+  EXPECT_GT(AopcInsertion(s.matcher, good, 2),
+            AopcInsertion(s.matcher, bad, 2));
+  // Inserting "anchor" alone: empty pair logit 0 -> 0.5; with anchor
+  // logit 2 -> sigmoid(2). First insertion step gain is exactly that.
+  const double gain1 = AopcInsertion(s.matcher, good, 1);
+  EXPECT_NEAR(gain1, la::Sigmoid(2.0) - 0.5, 1e-9);
+}
+
+TEST(FaithfulnessTest, InsertionEmptyUnitsIsZero) {
+  Oracle s;
+  EvalInstance inst{s.view, {}, 0.7, 0.5};
+  EXPECT_DOUBLE_EQ(AopcInsertion(s.matcher, inst, 3), 0.0);
+}
+
+TEST(FaithfulnessTest, MinimalFlipSetFindsDecisiveUnit) {
+  Oracle s;
+  auto inst = s.MakeInstance({2.0, 1.0, 0.0, -2.0, 0.0});
+  const auto flip = MinimalFlipSet(s.matcher, inst);
+  // Removing "anchor" alone flips sigmoid(1) -> sigmoid(-1) < 0.5.
+  EXPECT_TRUE(flip.flipped);
+  EXPECT_EQ(flip.units_removed, 1);
+  EXPECT_EQ(flip.tokens_removed, 1);
+}
+
+TEST(FaithfulnessTest, MinimalFlipSetLargerForBadExplanation) {
+  Oracle s;
+  // An explanation that ranks junk first needs more removals to flip.
+  auto bad = s.MakeInstance({0.0, 0.0, 5.0, -1.0, 4.0});
+  const auto flip = MinimalFlipSet(s.matcher, bad);
+  EXPECT_TRUE(flip.flipped);
+  EXPECT_GT(flip.units_removed, 1);
+}
+
+TEST(FaithfulnessTest, MinimalFlipSetMayNotFlip) {
+  // A matcher with a huge bias cannot be flipped by token removal.
+  testing::TokenWeightMatcher stubborn({}, /*bias=*/10.0);
+  Oracle s;
+  auto inst = s.MakeInstance({1.0, 0.5, 0.0, -1.0, 0.0});
+  EvalInstance fixed{s.view, inst.units, stubborn.PredictProba(s.pair), 0.5};
+  const auto flip = MinimalFlipSet(stubborn, fixed);
+  EXPECT_FALSE(flip.flipped);
+  EXPECT_EQ(flip.units_removed, 5);  // exhausted every unit
+}
+
+TEST(FaithfulnessTest, EmptyUnitsGiveZeroes) {
+  Oracle s;
+  EvalInstance inst{s.view, {}, 0.7, 0.5};
+  EXPECT_DOUBLE_EQ(ComprehensivenessAtK(s.matcher, inst, 3), 0.0);
+  EXPECT_DOUBLE_EQ(SufficiencyAtK(s.matcher, inst, 3), 0.0);
+  EXPECT_DOUBLE_EQ(AopcDeletion(s.matcher, inst, 3), 0.0);
+  EXPECT_FALSE(DecisionFlipAtTop(s.matcher, inst));
+}
+
+}  // namespace
+}  // namespace crew

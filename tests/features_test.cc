@@ -1,0 +1,90 @@
+#include "crew/model/features.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  s.AddAttribute("price", AttributeType::kNumeric);
+  return s;
+}
+
+RecordPair MakePair(const std::string& lname, const std::string& lprice,
+                    const std::string& rname, const std::string& rprice) {
+  RecordPair p;
+  p.left.values = {lname, lprice};
+  p.right.values = {rname, rprice};
+  return p;
+}
+
+TEST(FeaturesTest, CountMatchesNames) {
+  PairFeaturizer f(MakeSchema(), nullptr);
+  EXPECT_EQ(f.FeatureCount(), 2 * 5 + 3);
+  EXPECT_EQ(static_cast<int>(f.FeatureNames().size()), f.FeatureCount());
+  EXPECT_EQ(f.FeatureNames()[0], "name_jaccard");
+  EXPECT_EQ(f.FeatureNames().back(), "log_length_ratio");
+}
+
+TEST(FeaturesTest, IdenticalPairScoresHigh) {
+  PairFeaturizer f(MakeSchema(), nullptr);
+  const auto x = f.Extract(
+      MakePair("acme router", "99.50", "acme router", "99.50"));
+  // jaccard, overlap, monge-elkan for "name" are all 1.
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 1.0);
+}
+
+TEST(FeaturesTest, DisjointPairScoresLow) {
+  PairFeaturizer f(MakeSchema(), nullptr);
+  const auto x =
+      f.Extract(MakePair("acme router", "10", "zeta blender", "900"));
+  EXPECT_DOUBLE_EQ(x[0], 0.0);  // name jaccard
+  EXPECT_LT(x[5 + 4], 0.1);     // price typed sim (numeric, far apart)
+}
+
+TEST(FeaturesTest, NumericAttributeUsesRelativeSimilarity) {
+  PairFeaturizer f(MakeSchema(), nullptr);
+  const auto near = f.Extract(MakePair("x", "100", "x", "99"));
+  const auto far = f.Extract(MakePair("x", "100", "x", "10"));
+  const int price_typed = 5 + 4;
+  EXPECT_GT(near[price_typed], far[price_typed]);
+}
+
+TEST(FeaturesTest, TokenRemovalChangesFeatures) {
+  // The property perturbation explainers rely on.
+  PairFeaturizer f(MakeSchema(), nullptr);
+  const auto full =
+      f.Extract(MakePair("acme super router", "5", "acme super router", "5"));
+  const auto dropped =
+      f.Extract(MakePair("acme router", "5", "acme super router", "5"));
+  EXPECT_NE(full[0], dropped[0]);
+}
+
+TEST(FeaturesTest, EmbeddingFeatureZeroWithoutStore) {
+  PairFeaturizer f(MakeSchema(), nullptr);
+  const auto x = f.Extract(MakePair("a", "1", "a", "1"));
+  EXPECT_DOUBLE_EQ(x[3], 0.0);  // name_emb_cosine
+}
+
+TEST(FeatureScalerTest, StandardizesColumns) {
+  FeatureScaler scaler;
+  scaler.Fit({{0.0, 10.0}, {2.0, 10.0}, {4.0, 10.0}});
+  const la::Vec t = scaler.Transform({2.0, 10.0});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);  // at the mean
+  EXPECT_NEAR(t[1], 0.0, 1e-12);  // constant column passes through as 0
+  const la::Vec hi = scaler.Transform({4.0, 10.0});
+  EXPECT_GT(hi[0], 1.0);  // above mean, in stddev units
+  EXPECT_TRUE(scaler.fitted());
+}
+
+TEST(FeatureScalerTest, UnfittedIsDetectable) {
+  FeatureScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,65 @@
+#include "crew/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+FlagParser Parse(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (auto& a : args) argv.push_back(a.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto flags = Parse({"--samples=128", "--name=crew"});
+  EXPECT_TRUE(flags.status().ok());
+  EXPECT_EQ(flags.GetInt("samples", 0), 128);
+  EXPECT_EQ(flags.GetString("name", ""), "crew");
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  auto flags = Parse({"--samples", "64"});
+  EXPECT_EQ(flags.GetInt("samples", 0), 64);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  auto flags = Parse({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsentOrMalformed) {
+  auto flags = Parse({"--k=notanumber"});
+  EXPECT_EQ(flags.GetInt("k", 9), 9);
+  EXPECT_EQ(flags.GetInt("missing", 5), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(FlagsTest, BoolVariants) {
+  auto flags = Parse({"--a=TRUE", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_TRUE(flags.GetBool("d", true));  // unrecognized -> default
+}
+
+TEST(FlagsTest, Uint64) {
+  auto flags = Parse({"--seed=18446744073709551615"});
+  EXPECT_EQ(flags.GetUint64("seed", 0), 18446744073709551615ULL);
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  auto flags = Parse({"oops"});
+  EXPECT_FALSE(flags.status().ok());
+  EXPECT_EQ(flags.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, DoubleValue) {
+  auto flags = Parse({"--fraction=0.75"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("fraction", 0.0), 0.75);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,163 @@
+#include "crew/data/generator.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crew/data/benchmark_suite.h"
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCounts) {
+  GeneratorConfig config;
+  config.num_matches = 17;
+  config.num_nonmatches = 23;
+  auto d = GenerateDataset(config);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 40);
+  EXPECT_EQ(d->MatchCount(), 17);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorConfig config;
+  config.num_matches = 10;
+  config.num_nonmatches = 10;
+  config.seed = 99;
+  auto a = GenerateDataset(config);
+  auto b = GenerateDataset(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (int i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->pair(i).left, b->pair(i).left);
+    EXPECT_EQ(a->pair(i).right, b->pair(i).right);
+    EXPECT_EQ(a->pair(i).label, b->pair(i).label);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_matches = 5;
+  config.num_nonmatches = 5;
+  config.seed = 1;
+  auto a = GenerateDataset(config);
+  config.seed = 2;
+  auto b = GenerateDataset(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (int i = 0; i < a->size(); ++i) {
+    if (!(a->pair(i).left == b->pair(i).left)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, MatchesOverlapMoreThanNonMatches) {
+  GeneratorConfig config;
+  config.num_matches = 100;
+  config.num_nonmatches = 100;
+  auto d = GenerateDataset(config);
+  ASSERT_TRUE(d.ok());
+  const DatasetStats stats = ComputeStats(*d, Tokenizer());
+  EXPECT_GT(stats.avg_token_overlap_match,
+            stats.avg_token_overlap_nonmatch + 0.15);
+}
+
+TEST(GeneratorTest, HardNegativesShareContext) {
+  GeneratorConfig easy, hard;
+  easy.num_matches = 0;
+  easy.num_nonmatches = 150;
+  easy.hard_negative_fraction = 0.0;
+  easy.seed = 5;
+  hard = easy;
+  hard.hard_negative_fraction = 1.0;
+  auto de = GenerateDataset(easy);
+  auto dh = GenerateDataset(hard);
+  ASSERT_TRUE(de.ok() && dh.ok());
+  const auto se = ComputeStats(*de, Tokenizer());
+  const auto sh = ComputeStats(*dh, Tokenizer());
+  // Hard negatives are built by mutating the left entity, so they share
+  // clearly more surface with it.
+  EXPECT_GT(sh.avg_token_overlap_nonmatch,
+            se.avg_token_overlap_nonmatch + 0.05);
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+  GeneratorConfig config;
+  config.num_matches = -1;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+  config.num_matches = 1;
+  config.hard_negative_fraction = 1.5;
+  EXPECT_FALSE(GenerateDataset(config).ok());
+}
+
+TEST(GeneratorTest, NamesAndSynonyms) {
+  GeneratorConfig config;
+  config.domain = Domain::kBibliographic;
+  config.flavor = Flavor::kDirty;
+  EXPECT_EQ(config.Name(), "biblio-dirty");
+  EXPECT_FALSE(DomainSynonyms(Domain::kProducts).empty());
+  EXPECT_FALSE(DomainSynonyms(Domain::kRestaurants).empty());
+}
+
+struct GridParam {
+  Domain domain;
+  Flavor flavor;
+  int expected_attributes;
+};
+
+class GeneratorGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(GeneratorGridTest, SchemaShapeAndNonEmptyValues) {
+  GeneratorConfig config;
+  config.domain = GetParam().domain;
+  config.flavor = GetParam().flavor;
+  config.num_matches = 30;
+  config.num_nonmatches = 30;
+  auto d = GenerateDataset(config);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->schema().size(), GetParam().expected_attributes);
+  // Every record has at least one non-empty attribute (even dirty flavours
+  // never blank a whole record).
+  for (const auto& p : d->pairs()) {
+    for (const Record* r : {&p.left, &p.right}) {
+      bool any = false;
+      for (const auto& v : r->values) {
+        if (!v.empty()) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomainsAndFlavors, GeneratorGridTest,
+    ::testing::Values(
+        GridParam{Domain::kProducts, Flavor::kStructured, 5},
+        GridParam{Domain::kProducts, Flavor::kDirty, 5},
+        GridParam{Domain::kProducts, Flavor::kTextual, 2},
+        GridParam{Domain::kBibliographic, Flavor::kStructured, 4},
+        GridParam{Domain::kBibliographic, Flavor::kDirty, 4},
+        GridParam{Domain::kBibliographic, Flavor::kTextual, 2},
+        GridParam{Domain::kRestaurants, Flavor::kStructured, 5},
+        GridParam{Domain::kRestaurants, Flavor::kDirty, 5},
+        GridParam{Domain::kRestaurants, Flavor::kTextual, 2}));
+
+TEST(BenchmarkSuiteTest, NineEntriesWithUniqueNames) {
+  const auto entries = StandardBenchmark(7, 10, 10);
+  ASSERT_EQ(entries.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& e : entries) names.insert(e.name);
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(BenchmarkSuiteTest, GenerateByName) {
+  auto d = GenerateByName("restaurants-textual", 7, 5, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 10);
+  EXPECT_FALSE(GenerateByName("no-such-dataset").ok());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,85 @@
+#include "crew/eval/global_explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/explain/lime.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::TokenWeightMatcher;
+
+Dataset RepeatedTokenDataset() {
+  Schema s;
+  s.AddAttribute("a", AttributeType::kText);
+  s.AddAttribute("b", AttributeType::kText);
+  Dataset d(s);
+  for (int i = 0; i < 6; ++i) {
+    RecordPair p;
+    p.left.values = {"driver token" + std::to_string(i), "junk"};
+    p.right.values = {"driver other" + std::to_string(i), "junk"};
+    p.label = i % 2;
+    d.Add(p);
+  }
+  return d;
+}
+
+TEST(GlobalExplanationTest, DecisiveTokenRisesToTop) {
+  const Dataset dataset = RepeatedTokenDataset();
+  TokenWeightMatcher matcher({{"driver", 1.2}}, -0.5);
+  LimeConfig config;
+  config.perturbation.num_samples = 128;
+  LimeExplainer lime(config);
+  std::vector<int> all = {0, 1, 2, 3, 4, 5};
+  auto global = BuildGlobalExplanation(lime, matcher, dataset, all, 7);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->instances, 6);
+  ASSERT_FALSE(global->tokens.empty());
+  EXPECT_EQ(global->tokens[0].token, "driver");
+  EXPECT_GT(global->tokens[0].mean_weight, 0.0);
+  EXPECT_EQ(global->tokens[0].occurrences, 12);  // both sides x 6 pairs
+}
+
+TEST(GlobalExplanationTest, AttributeSharesSumToOne) {
+  const Dataset dataset = RepeatedTokenDataset();
+  TokenWeightMatcher matcher({{"driver", 1.0}});
+  LimeConfig config;
+  config.perturbation.num_samples = 64;
+  LimeExplainer lime(config);
+  auto global =
+      BuildGlobalExplanation(lime, matcher, dataset, {0, 1, 2}, 7);
+  ASSERT_TRUE(global.ok());
+  double total_share = 0.0;
+  for (const auto& attr : global->attributes) total_share += attr.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+  // Attribute 0 holds the decisive token: it dominates.
+  ASSERT_FALSE(global->attributes.empty());
+  EXPECT_EQ(global->attributes[0].name, "a");
+  EXPECT_GT(global->attributes[0].share, 0.5);
+}
+
+TEST(GlobalExplanationTest, MinOccurrencesFiltersRareTokens) {
+  const Dataset dataset = RepeatedTokenDataset();
+  TokenWeightMatcher matcher({{"driver", 1.0}});
+  LimeConfig config;
+  config.perturbation.num_samples = 64;
+  LimeExplainer lime(config);
+  auto strict = BuildGlobalExplanation(lime, matcher, dataset, {0, 1, 2}, 7,
+                                       /*min_occurrences=*/100);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->tokens.empty());
+}
+
+TEST(GlobalExplanationTest, EmptyInstanceList) {
+  const Dataset dataset = RepeatedTokenDataset();
+  TokenWeightMatcher matcher({});
+  LimeExplainer lime;
+  auto global = BuildGlobalExplanation(lime, matcher, dataset, {}, 7);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->instances, 0);
+  EXPECT_TRUE(global->tokens.empty());
+}
+
+}  // namespace
+}  // namespace crew

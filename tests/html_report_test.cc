@@ -1,0 +1,53 @@
+#include "crew/core/html_report.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/core/crew_explainer.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+TEST(HtmlEscapeTest, SpecialCharacters) {
+  EXPECT_EQ(HtmlEscape("a<b>c&d\"e"), "a&lt;b&gt;c&amp;d&quot;e");
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+}
+
+TEST(HtmlReportTest, RendersSelfContainedDocument) {
+  TokenWeightMatcher matcher({{"anchor", 2.0}});
+  const RecordPair pair =
+      MakePair("anchor beta", "gamma", "other", "delta");
+  CrewConfig config;
+  config.importance.perturbation.num_samples = 64;
+  CrewExplainer explainer(nullptr, config);
+  auto e = explainer.ExplainClusters(matcher, pair, 5);
+  ASSERT_TRUE(e.ok());
+  const Schema schema = AnonymousSchema(pair);
+  // Title carries markup: it must come out escaped (tokens themselves can
+  // never contain < or > — the tokenizer strips punctuation).
+  const std::string html = RenderExplanationHtml(
+      schema, pair, e.value(), "report <script>alert(1)</script>");
+
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("anchor"), std::string::npos);
+  // Every cluster appears in the legend.
+  for (const auto& unit : e->units) {
+    EXPECT_NE(html.find(HtmlEscape(unit.label)), std::string::npos);
+  }
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(HtmlReportTest, EmptyExplanation) {
+  const RecordPair pair = MakePair("", "", "", "");
+  ClusterExplanation empty;
+  const std::string html =
+      RenderExplanationHtml(AnonymousSchema(pair), pair, empty);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,61 @@
+#include "crew/common/logging.h"
+#include "crew/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(LoggingTest, SeverityFilterSuppressesBelowMin) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kWarning);
+  ::testing::internal::CaptureStderr();
+  CREW_LOG(Info) << "should be suppressed";
+  CREW_LOG(Warning) << "should appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(original);
+  EXPECT_EQ(err.find("should be suppressed"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+TEST(LoggingTest, MessageIncludesSeverityTagAndFile) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kDebug);
+  ::testing::internal::CaptureStderr();
+  CREW_LOG(Error) << "boom " << 42;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(original);
+  EXPECT_NE(err.find("[E logging_test.cc:"), std::string::npos);
+  EXPECT_NE(err.find("boom 42"), std::string::npos);
+}
+
+TEST(LoggingTest, StreamsArbitraryTypes) {
+  ::testing::internal::CaptureStderr();
+  CREW_LOG(Warning) << "pi=" << 3.5 << " s=" << std::string("x");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("pi=3.5 s=x"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(CREW_CHECK(1 == 2) << "context", "CHECK failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckPassesSilently) {
+  ::testing::internal::CaptureStderr();
+  CREW_CHECK(true) << "never shown";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(CREW_CHECK_OK(Status::Internal("bad state")),
+               "CHECK_OK failed: INTERNAL: bad state");
+}
+
+TEST(LoggingDeathTest, CheckOkPassesOnOk) {
+  ::testing::internal::CaptureStderr();
+  CREW_CHECK_OK(Status::Ok());
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace crew

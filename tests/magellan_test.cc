@@ -1,0 +1,83 @@
+#include "crew/data/magellan.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+const char kTableA[] =
+    "id,name,price\n"
+    "0,acme router,99\n"
+    "1,\"zeta, inc blender\",45\n";
+const char kTableB[] =
+    "id,name,price\n"
+    "100,acme router x,95\n"
+    "101,other gadget,10\n";
+const char kPairs[] =
+    "ltable_id,rtable_id,label\n"
+    "0,100,1\n"
+    "0,101,0\n"
+    "1,101,0\n";
+
+TEST(MagellanTest, LoadsPairsWithResolvedRecords) {
+  auto d = LoadMagellanFromStrings(kTableA, kTableB, kPairs);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 3);
+  EXPECT_EQ(d->MatchCount(), 1);
+  EXPECT_EQ(d->schema().size(), 2);
+  EXPECT_EQ(d->schema().name(0), "name");
+  EXPECT_EQ(d->pair(0).left.values[0], "acme router");
+  EXPECT_EQ(d->pair(0).right.values[0], "acme router x");
+  EXPECT_EQ(d->pair(2).left.values[0], "zeta, inc blender");  // quoted CSV
+}
+
+TEST(MagellanTest, RejectsSchemaMismatch) {
+  const char* other = "id,name,brand\n100,x,y\n";
+  EXPECT_FALSE(LoadMagellanFromStrings(kTableA, other, kPairs).ok());
+}
+
+TEST(MagellanTest, RejectsUnknownIds) {
+  const char* bad_pairs = "ltable_id,rtable_id,label\n99,100,1\n";
+  auto d = LoadMagellanFromStrings(kTableA, kTableB, bad_pairs);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MagellanTest, RejectsBadHeadersAndLabels) {
+  EXPECT_FALSE(
+      LoadMagellanFromStrings("name\nx\n", kTableB, kPairs).ok());
+  EXPECT_FALSE(LoadMagellanFromStrings(
+                   kTableA, kTableB, "ltable_id,rtable_id,label\n0,100,7\n")
+                   .ok());
+  EXPECT_FALSE(LoadMagellanFromStrings(
+                   kTableA, kTableB, "a,b\n0,100\n")
+                   .ok());
+}
+
+TEST(MagellanTest, RejectsDuplicateIds) {
+  const char* dup = "id,name,price\n0,x,1\n0,y,2\n";
+  EXPECT_FALSE(LoadMagellanFromStrings(dup, kTableB, kPairs).ok());
+}
+
+TEST(MagellanTest, DirectoryLayout) {
+  const std::string dir = ::testing::TempDir() + "/magellan_demo";
+  std::filesystem::create_directories(dir);
+  for (const auto& [file, content] :
+       {std::pair<const char*, const char*>{"tableA.csv", kTableA},
+        {"tableB.csv", kTableB},
+        {"train.csv", kPairs}}) {
+    std::ofstream out(dir + "/" + file, std::ios::binary);
+    out << content;
+  }
+  auto d = LoadMagellanDirectory(dir, "train");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->size(), 3);
+  EXPECT_FALSE(LoadMagellanDirectory(dir, "test").ok());  // missing split
+  EXPECT_FALSE(LoadMagellanDirectory("/no/such/dir").ok());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,115 @@
+#include "crew/la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/common/rng.h"
+
+namespace crew::la {
+namespace {
+
+Matrix Make2x3() {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  return m;
+}
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m = Make2x3();
+  EXPECT_EQ(m.RowVec(1), (Vec{4, 5, 6}));
+  m.SetRow(0, {7, 8, 9});
+  EXPECT_EQ(m.RowVec(0), (Vec{7, 8, 9}));
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m = Make2x3();
+  EXPECT_EQ(m.MatVec({1, 0, -1}), (Vec{-2, -2}));
+}
+
+TEST(MatrixTest, MatTVec) {
+  Matrix m = Make2x3();
+  EXPECT_EQ(m.MatTVec({1, 1}), (Vec{5, 7, 9}));
+}
+
+TEST(MatrixTest, MatMul) {
+  Matrix m = Make2x3();
+  Matrix id(3, 3);
+  for (int i = 0; i < 3; ++i) id.At(i, i) = 1.0;
+  Matrix p = m.MatMul(id);
+  EXPECT_EQ(p.RowVec(0), m.RowVec(0));
+  EXPECT_EQ(p.RowVec(1), m.RowVec(1));
+}
+
+TEST(MatrixTest, GramMatchesTransposeProduct) {
+  Matrix m = Make2x3();
+  Matrix g = m.Gram();
+  Matrix expected = m.Transposed().MatMul(m);
+  ASSERT_EQ(g.rows(), 3);
+  ASSERT_EQ(g.cols(), 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g.At(i, j), expected.At(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentity) {
+  Matrix m = Make2x3();
+  Matrix t = m.Transposed().Transposed();
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t.At(r, c), m.At(r, c));
+  }
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  Matrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  Vec x;
+  ASSERT_TRUE(CholeskySolve(a, {10, 8}, &x));
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 1;  // eigenvalues 3, -1
+  Vec x;
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}, &x));
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, SolvesRandomSpdSystems) {
+  const int n = GetParam();
+  Rng rng(900 + n);
+  // SPD via B^T B + n*I.
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b.At(i, j) = rng.Normal();
+  }
+  Matrix a = b.Gram();
+  for (int i = 0; i < n; ++i) a.At(i, i) += n;
+  Vec rhs(n);
+  for (int i = 0; i < n; ++i) rhs[i] = rng.Normal();
+  Vec x;
+  ASSERT_TRUE(CholeskySolve(a, rhs, &x));
+  const Vec residual = a.MatVec(x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(residual[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace crew::la

@@ -1,0 +1,52 @@
+#include "crew/model/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(MetricsTest, PrecisionRecallF1Accuracy) {
+  ClassificationMetrics m;
+  m.true_positives = 8;
+  m.false_positives = 2;
+  m.false_negatives = 4;
+  m.true_negatives = 6;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(m.Recall(), 8.0 / 12.0);
+  EXPECT_NEAR(m.F1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 14.0 / 20.0);
+}
+
+TEST(MetricsTest, DegenerateCountsAreZeroNotNan) {
+  ClassificationMetrics m;
+  EXPECT_DOUBLE_EQ(m.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+}
+
+TEST(MetricsTest, MetricsAtThreshold) {
+  const std::vector<double> scores = {0.1, 0.4, 0.6, 0.9};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const auto m = MetricsAtThreshold(scores, labels, 0.5);
+  EXPECT_EQ(m.true_positives, 1);   // 0.9
+  EXPECT_EQ(m.false_positives, 1);  // 0.6
+  EXPECT_EQ(m.false_negatives, 1);  // 0.4
+  EXPECT_EQ(m.true_negatives, 1);   // 0.1
+}
+
+TEST(MetricsTest, BestF1ThresholdSeparable) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const double t = BestF1Threshold(scores, labels);
+  EXPECT_GT(t, 0.2);
+  EXPECT_LE(t, 0.8);
+  EXPECT_DOUBLE_EQ(MetricsAtThreshold(scores, labels, t).F1(), 1.0);
+}
+
+TEST(MetricsTest, BestF1ThresholdEmptyDefaults) {
+  EXPECT_DOUBLE_EQ(BestF1Threshold({}, {}), 0.5);
+}
+
+}  // namespace
+}  // namespace crew

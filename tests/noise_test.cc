@@ -1,0 +1,136 @@
+#include "crew/data/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/text/string_similarity.h"
+
+namespace crew {
+namespace {
+
+Schema TwoAttrSchema() {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  s.AddAttribute("desc", AttributeType::kText);
+  return s;
+}
+
+TEST(NoiseTest, InjectTypoChangesLongTokens) {
+  Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (InjectTypo("television", rng) != "television") ++changed;
+  }
+  EXPECT_GT(changed, 40);  // substitution may pick the same letter rarely
+}
+
+TEST(NoiseTest, InjectTypoLeavesShortTokens) {
+  Rng rng(2);
+  EXPECT_EQ(InjectTypo("ab", rng), "ab");
+  EXPECT_EQ(InjectTypo("", rng), "");
+}
+
+TEST(NoiseTest, InjectTypoSingleEdit) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string t = InjectTypo("corporation", rng);
+    EXPECT_LE(LevenshteinDistance("corporation", t), 2);  // swap counts as 2
+  }
+}
+
+TEST(NoiseTest, Abbreviate) {
+  EXPECT_EQ(Abbreviate("corporation"), "corp");
+  EXPECT_EQ(Abbreviate("abcde"), "abcd");
+  EXPECT_EQ(Abbreviate("abc"), "ab");
+  EXPECT_EQ(Abbreviate("a"), "");
+}
+
+TEST(NoiseTest, ZeroConfigIsIdentityOnTokens) {
+  NoiseConfig none;
+  none.typo_per_token = 0.0;
+  none.token_drop = 0.0;
+  none.token_duplicate = 0.0;
+  none.abbreviate = 0.0;
+  none.synonym = 0.0;
+  Record r;
+  r.values = {"acme super router", "with cables"};
+  Record original = r;
+  Rng rng(4);
+  ApplyNoise(none, TwoAttrSchema(), {}, rng, &r);
+  EXPECT_EQ(r, original);
+}
+
+TEST(NoiseTest, MissingValueClearsAttribute) {
+  NoiseConfig config;
+  config.typo_per_token = 0.0;
+  config.token_drop = 0.0;
+  config.token_duplicate = 0.0;
+  config.abbreviate = 0.0;
+  config.synonym = 0.0;
+  config.missing_value = 1.0;
+  Record r;
+  r.values = {"something", "else"};
+  Rng rng(5);
+  ApplyNoise(config, TwoAttrSchema(), {}, rng, &r);
+  EXPECT_EQ(r.values[0], "");
+  EXPECT_EQ(r.values[1], "");
+}
+
+TEST(NoiseTest, AttributeSwapExchangesValues) {
+  NoiseConfig config;
+  config.typo_per_token = 0.0;
+  config.token_drop = 0.0;
+  config.token_duplicate = 0.0;
+  config.abbreviate = 0.0;
+  config.synonym = 0.0;
+  config.attribute_swap = 1.0;
+  Record r;
+  r.values = {"alpha", "beta"};
+  Rng rng(6);
+  ApplyNoise(config, TwoAttrSchema(), {}, rng, &r);
+  EXPECT_EQ(r.values[0], "beta");
+  EXPECT_EQ(r.values[1], "alpha");
+}
+
+TEST(NoiseTest, SynonymSubstitution) {
+  NoiseConfig config;
+  config.typo_per_token = 0.0;
+  config.token_drop = 0.0;
+  config.token_duplicate = 0.0;
+  config.abbreviate = 0.0;
+  config.synonym = 1.0;
+  SynonymTable synonyms = {{"router", {"gateway"}}};
+  Record r;
+  r.values = {"router", "router"};
+  Rng rng(7);
+  ApplyNoise(config, TwoAttrSchema(), synonyms, rng, &r);
+  EXPECT_EQ(r.values[0], "gateway");
+  EXPECT_EQ(r.values[1], "gateway");
+}
+
+TEST(NoiseTest, TokenDropNeverEmptiesSingleTokenValue) {
+  NoiseConfig config;
+  config.token_drop = 1.0;
+  config.typo_per_token = 0.0;
+  config.token_duplicate = 0.0;
+  config.abbreviate = 0.0;
+  config.synonym = 0.0;
+  Record r;
+  r.values = {"only", "two words"};
+  Rng rng(8);
+  ApplyNoise(config, TwoAttrSchema(), {}, rng, &r);
+  EXPECT_EQ(r.values[0], "only");  // single token is protected
+}
+
+TEST(NoiseTest, DeterministicGivenRngState) {
+  NoiseConfig config;  // defaults: all channels mildly active
+  Record a, b;
+  a.values = {"acme wireless router deluxe", "fast and quiet device"};
+  b = a;
+  Rng rng_a(9), rng_b(9);
+  ApplyNoise(config, TwoAttrSchema(), {}, rng_a, &a);
+  ApplyNoise(config, TwoAttrSchema(), {}, rng_b, &b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace crew

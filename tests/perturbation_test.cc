@@ -1,0 +1,99 @@
+#include "crew/explain/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+TEST(PerturbationTest, MasksRespectPerturbableSet) {
+  const RecordPair pair = MakePair("a b c", "", "x y", "");
+  PairTokenView view(AnonymousSchema(pair), Tokenizer(), pair);
+  TokenWeightMatcher matcher({{"a", 1.0}});
+  Rng rng(1);
+  PerturbationConfig config;
+  config.num_samples = 64;
+  const std::vector<int> perturbable = {0, 1};  // only "a" and "b"
+  const auto samples =
+      SampleTokenDrops(matcher, view, perturbable, config, rng);
+  ASSERT_EQ(samples.size(), 64u);
+  for (const auto& s : samples) {
+    // Indices outside the perturbable set are always kept.
+    EXPECT_TRUE(s.keep[2]);
+    EXPECT_TRUE(s.keep[3]);
+    EXPECT_TRUE(s.keep[4]);
+    // At least one perturbable token removed.
+    EXPECT_TRUE(!s.keep[0] || !s.keep[1]);
+    EXPECT_GT(s.kernel_weight, 0.0);
+    EXPECT_LE(s.kernel_weight, 1.0);
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+  }
+}
+
+TEST(PerturbationTest, EmptyPerturbableGivesNoSamples) {
+  const RecordPair pair = MakePair("a", "", "b", "");
+  PairTokenView view(AnonymousSchema(pair), Tokenizer(), pair);
+  TokenWeightMatcher matcher({});
+  Rng rng(2);
+  PerturbationConfig config;
+  EXPECT_TRUE(SampleTokenDrops(matcher, view, {}, config, rng).empty());
+}
+
+TEST(PerturbationTest, KernelWeightDecreasesWithRemovals) {
+  const RecordPair pair = MakePair("a b c d e f", "", "", "");
+  PairTokenView view(AnonymousSchema(pair), Tokenizer(), pair);
+  TokenWeightMatcher matcher({});
+  Rng rng(3);
+  PerturbationConfig config;
+  config.num_samples = 200;
+  std::vector<int> all = {0, 1, 2, 3, 4, 5};
+  const auto samples = SampleTokenDrops(matcher, view, all, config, rng);
+  for (const auto& s : samples) {
+    int removed = 0;
+    for (bool k : s.keep) {
+      if (!k) ++removed;
+    }
+    const double frac = removed / 6.0;
+    EXPECT_NEAR(s.kernel_weight,
+                std::exp(-frac * frac / (0.75 * 0.75)), 1e-12);
+  }
+}
+
+TEST(SurrogateTest, RecoversPlantedLinearModel) {
+  // Matcher = sigmoid(2*a - 1*b + 0*c); with small logit range the local
+  // linear surrogate's coefficients must preserve the ordering a > c > b.
+  const RecordPair pair = MakePair("aaa bbb ccc", "", "", "");
+  PairTokenView view(AnonymousSchema(pair), Tokenizer(), pair);
+  TokenWeightMatcher matcher({{"aaa", 2.0}, {"bbb", -1.0}});
+  Rng rng(4);
+  PerturbationConfig config;
+  config.num_samples = 256;
+  const std::vector<int> perturbable = {0, 1, 2};
+  const auto samples =
+      SampleTokenDrops(matcher, view, perturbable, config, rng);
+  SurrogateFit fit;
+  ASSERT_TRUE(
+      FitKeepMaskSurrogate(samples, perturbable, 0.01, &fit).ok());
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_GT(fit.coefficients[0], fit.coefficients[2]);
+  EXPECT_GT(fit.coefficients[2], fit.coefficients[1]);
+  EXPECT_GT(fit.coefficients[0], 0.0);
+  EXPECT_LT(fit.coefficients[1], 0.0);
+  EXPECT_GT(fit.r2, 0.5);
+}
+
+TEST(SurrogateTest, ErrorsOnEmptyInput) {
+  SurrogateFit fit;
+  EXPECT_FALSE(FitKeepMaskSurrogate({}, {0}, 1.0, &fit).ok());
+  PerturbationSample s;
+  s.keep = {true};
+  EXPECT_FALSE(FitKeepMaskSurrogate({s}, {}, 1.0, &fit).ok());
+}
+
+}  // namespace
+}  // namespace crew

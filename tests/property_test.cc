@@ -1,0 +1,185 @@
+// Cross-module property tests: randomized sweeps over invariants that the
+// unit tests only probe pointwise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crew/core/agglomerative.h"
+#include "crew/data/csv.h"
+#include "crew/data/generator.h"
+#include "crew/common/string_util.h"
+#include "crew/explain/lime.h"
+#include "crew/explain/token_view.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::TokenWeightMatcher;
+
+std::string RandomText(Rng& rng, int max_tokens) {
+  static const char* kWords[] = {"acme", "router", "x9",   "fast", "red",
+                                 "12",   "pro",    "mini", "usb",  "hub"};
+  std::vector<std::string> parts;
+  const int n = rng.UniformInt(0, max_tokens);
+  for (int i = 0; i < n; ++i) parts.push_back(kWords[rng.UniformInt(10)]);
+  return Join(parts, " ");
+}
+
+class RandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Materialize(keep) must yield a pair whose re-tokenization is exactly the
+// kept tokens, in the original order, per side and attribute.
+TEST_P(RandomizedTest, MaterializeRoundTripsKeptTokens) {
+  Rng rng(GetParam());
+  Tokenizer tokenizer;
+  for (int trial = 0; trial < 20; ++trial) {
+    RecordPair pair;
+    pair.left.values = {RandomText(rng, 5), RandomText(rng, 4)};
+    pair.right.values = {RandomText(rng, 5), RandomText(rng, 4)};
+    const Schema schema = AnonymousSchema(pair);
+    PairTokenView view(schema, tokenizer, pair);
+    std::vector<bool> keep(view.size());
+    for (int i = 0; i < view.size(); ++i) keep[i] = rng.Bernoulli(0.6);
+    const RecordPair materialized = view.Materialize(keep);
+    PairTokenView reparsed(schema, tokenizer, materialized);
+    // Collect expected surviving tokens in view order.
+    std::vector<std::string> expected;
+    for (int i = 0; i < view.size(); ++i) {
+      if (keep[i]) expected.push_back(view.token(i).text);
+    }
+    std::vector<std::string> actual;
+    for (int i = 0; i < reparsed.size(); ++i) {
+      actual.push_back(reparsed.token(i).text);
+    }
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+// CSV writer/parser round-trip over adversarial field content.
+TEST_P(RandomizedTest, CsvRoundTripsArbitraryFields) {
+  Rng rng(GetParam() ^ 0x11);
+  const std::string alphabet = "ab,\"\n\r\t x";
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::vector<std::string>> rows;
+    const int nrows = 1 + rng.UniformInt(4);
+    const int ncols = 1 + rng.UniformInt(4);
+    for (int r = 0; r < nrows; ++r) {
+      std::vector<std::string> row;
+      for (int c = 0; c < ncols; ++c) {
+        std::string field;
+        const int len = rng.UniformInt(0, 8);
+        for (int i = 0; i < len; ++i) {
+          field.push_back(
+              alphabet[rng.UniformInt(static_cast<int>(alphabet.size()))]);
+        }
+        row.push_back(field);
+      }
+      rows.push_back(row);
+    }
+    auto parsed = ParseCsv(WriteCsv(rows));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, rows) << "trial " << trial;
+  }
+}
+
+// Every cut of a dendrogram yields exactly k contiguous labels 0..k-1.
+TEST_P(RandomizedTest, DendrogramCutsAreProperPartitions) {
+  Rng rng(GetParam() ^ 0x22);
+  const int n = 2 + rng.UniformInt(14);
+  la::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      d.At(i, j) = d.At(j, i) = rng.Uniform();
+    }
+  }
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    const Dendrogram dendrogram = AgglomerativeCluster(d, linkage);
+    for (int k = 1; k <= n; ++k) {
+      const auto labels = dendrogram.CutToClusters(k);
+      std::set<int> distinct(labels.begin(), labels.end());
+      EXPECT_EQ(static_cast<int>(distinct.size()), k);
+      EXPECT_EQ(*distinct.begin(), 0);
+      EXPECT_EQ(*distinct.rbegin(), k - 1);
+    }
+  }
+}
+
+// Merge distances are non-decreasing (all three linkages are monotone).
+TEST_P(RandomizedTest, LinkageMergeDistancesMonotone) {
+  Rng rng(GetParam() ^ 0x33);
+  const int n = 3 + rng.UniformInt(12);
+  la::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      d.At(i, j) = d.At(j, i) = rng.Uniform();
+    }
+  }
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    const Dendrogram dendrogram = AgglomerativeCluster(d, linkage);
+    for (size_t t = 1; t < dendrogram.merges.size(); ++t) {
+      EXPECT_GE(dendrogram.merges[t].distance + 1e-12,
+                dendrogram.merges[t - 1].distance)
+          << LinkageName(linkage);
+    }
+  }
+}
+
+// Generated datasets survive a CSV round trip bit-for-bit.
+TEST_P(RandomizedTest, GeneratedDatasetCsvRoundTrip) {
+  GeneratorConfig config;
+  config.seed = GetParam();
+  config.num_matches = 15;
+  config.num_nonmatches = 15;
+  config.domain = static_cast<Domain>(GetParam() % 3);
+  config.flavor = static_cast<Flavor>((GetParam() / 3) % 3);
+  auto dataset = GenerateDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  auto reloaded = LoadDatasetCsv(DatasetToCsv(*dataset));
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->size(), dataset->size());
+  for (int i = 0; i < dataset->size(); ++i) {
+    EXPECT_EQ(reloaded->pair(i).left, dataset->pair(i).left);
+    EXPECT_EQ(reloaded->pair(i).right, dataset->pair(i).right);
+    EXPECT_EQ(reloaded->pair(i).label, dataset->pair(i).label);
+  }
+}
+
+// The oracle's decisive token never ranks below irrelevant fillers by a
+// wide margin, across random pair layouts (LIME only: the cheapest).
+TEST_P(RandomizedTest, LimeOracleSanityAcrossLayouts) {
+  Rng rng(GetParam() ^ 0x44);
+  TokenWeightMatcher matcher({{"decisive", 3.0}});
+  LimeConfig config;
+  config.perturbation.num_samples = 192;
+  LimeExplainer lime(config);
+  for (int trial = 0; trial < 3; ++trial) {
+    RecordPair pair;
+    pair.left.values = {RandomText(rng, 4) + " decisive",
+                        RandomText(rng, 3)};
+    pair.right.values = {RandomText(rng, 4), RandomText(rng, 3)};
+    auto explanation = lime.Explain(matcher, pair, GetParam() + trial);
+    ASSERT_TRUE(explanation.ok());
+    double best_filler = 0.0, decisive = 0.0;
+    for (const auto& a : explanation->attributions) {
+      if (a.token.text == "decisive") {
+        decisive = a.weight;
+      } else {
+        best_filler = std::max(best_filler, a.weight);
+      }
+    }
+    EXPECT_GT(decisive, best_filler);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace crew

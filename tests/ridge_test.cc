@@ -1,0 +1,108 @@
+#include "crew/la/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/common/rng.h"
+
+namespace crew::la {
+namespace {
+
+TEST(RidgeTest, RecoversLinearFunction) {
+  // y = 2 x0 - 3 x1 + 1, no noise, tiny lambda.
+  Rng rng(5);
+  const int n = 50;
+  Matrix x(n, 2);
+  Vec y(n);
+  for (int i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    x.At(i, 1) = rng.Normal();
+    y[i] = 2.0 * x.At(i, 0) - 3.0 * x.At(i, 1) + 1.0;
+  }
+  RidgeModel model;
+  ASSERT_TRUE(FitRidge(x, y, {}, 1e-8, &model).ok());
+  EXPECT_NEAR(model.coefficients[0], 2.0, 1e-5);
+  EXPECT_NEAR(model.coefficients[1], -3.0, 1e-5);
+  EXPECT_NEAR(model.intercept, 1.0, 1e-5);
+  EXPECT_NEAR(model.r2, 1.0, 1e-9);
+}
+
+TEST(RidgeTest, LambdaShrinksCoefficients) {
+  Rng rng(6);
+  const int n = 40;
+  Matrix x(n, 1);
+  Vec y(n);
+  for (int i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    y[i] = 5.0 * x.At(i, 0);
+  }
+  RidgeModel weak, strong;
+  ASSERT_TRUE(FitRidge(x, y, {}, 0.01, &weak).ok());
+  ASSERT_TRUE(FitRidge(x, y, {}, 100.0, &strong).ok());
+  EXPECT_GT(std::abs(weak.coefficients[0]), std::abs(strong.coefficients[0]));
+  EXPECT_GT(std::abs(strong.coefficients[0]), 0.0);
+}
+
+TEST(RidgeTest, ZeroWeightSamplesIgnored) {
+  // Two populations; weights select the first.
+  Matrix x(4, 1);
+  Vec y(4), w(4);
+  // population A: y = x
+  x.At(0, 0) = 1.0;
+  y[0] = 1.0;
+  w[0] = 1.0;
+  x.At(1, 0) = 2.0;
+  y[1] = 2.0;
+  w[1] = 1.0;
+  // population B (outliers with zero weight): y = -10x
+  x.At(2, 0) = 1.0;
+  y[2] = -10.0;
+  w[2] = 0.0;
+  x.At(3, 0) = 2.0;
+  y[3] = -20.0;
+  w[3] = 0.0;
+  RidgeModel model;
+  ASSERT_TRUE(FitRidge(x, y, w, 1e-9, &model).ok());
+  EXPECT_NEAR(model.coefficients[0], 1.0, 1e-6);
+}
+
+TEST(RidgeTest, InterceptNotRegularized) {
+  // Constant target: heavy lambda must not pull the intercept to zero.
+  Matrix x(10, 1);
+  Vec y(10, 7.0);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) x.At(i, 0) = rng.Normal();
+  RidgeModel model;
+  ASSERT_TRUE(FitRidge(x, y, {}, 1000.0, &model).ok());
+  EXPECT_NEAR(model.intercept, 7.0, 0.05);
+}
+
+TEST(RidgeTest, ErrorsOnBadInput) {
+  Matrix empty;
+  RidgeModel model;
+  EXPECT_FALSE(FitRidge(empty, {}, {}, 1.0, &model).ok());
+
+  Matrix x(2, 1);
+  EXPECT_FALSE(FitRidge(x, {1.0}, {}, 1.0, &model).ok());  // y mismatch
+  EXPECT_FALSE(FitRidge(x, {1.0, 2.0}, {1.0}, 1.0, &model).ok());  // w mismatch
+  EXPECT_FALSE(FitRidge(x, {1.0, 2.0}, {}, -1.0, &model).ok());  // bad lambda
+  EXPECT_FALSE(
+      FitRidge(x, {1.0, 2.0}, {0.0, 0.0}, 1.0, &model).ok());  // all zero w
+}
+
+TEST(RidgeTest, R2ReflectsNoise) {
+  Rng rng(9);
+  const int n = 200;
+  Matrix x(n, 1);
+  Vec y(n);
+  for (int i = 0; i < n; ++i) {
+    x.At(i, 0) = rng.Normal();
+    y[i] = x.At(i, 0) + rng.Normal(0.0, 2.0);  // weak signal, strong noise
+  }
+  RidgeModel model;
+  ASSERT_TRUE(FitRidge(x, y, {}, 0.1, &model).ok());
+  EXPECT_GT(model.r2, 0.05);
+  EXPECT_LT(model.r2, 0.6);
+}
+
+}  // namespace
+}  // namespace crew::la

@@ -1,0 +1,159 @@
+#include "crew/common/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextRaw() == b.NextRaw()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformInt(3, 5));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5}));
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(29);
+  const auto s = rng.SampleIndices(20, 8);
+  EXPECT_EQ(s.size(), 8u);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (int v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SampleIndicesClampsToN) {
+  Rng rng(31);
+  EXPECT_EQ(rng.SampleIndices(5, 100).size(), 5u);
+  EXPECT_TRUE(rng.SampleIndices(5, 0).empty());
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroIsUniform) {
+  Rng rng(41);
+  std::vector<double> w = {0.0, 0.0};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.Categorical(w));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(55);
+  Rng fork1 = a.Fork(1);
+  Rng fork1_again = Rng(55).Fork(1);
+  Rng fork2 = a.Fork(2);
+  EXPECT_EQ(fork1.NextRaw(), fork1_again.NextRaw());
+  Rng f1 = Rng(55).Fork(1);
+  Rng f2 = Rng(55).Fork(2);
+  EXPECT_NE(f1.NextRaw(), f2.NextRaw());
+}
+
+class ShufflePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShufflePropertyTest, ShufflePreservesMultiset) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i % 7;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(v.begin(), v.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShufflePropertyTest,
+                         ::testing::Values(0, 1, 2, 5, 16, 100, 1000));
+
+}  // namespace
+}  // namespace crew

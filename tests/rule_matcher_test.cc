@@ -1,0 +1,79 @@
+#include "crew/model/rule_matcher.h"
+
+#include <set>
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "crew/data/generator.h"
+#include "crew/model/metrics.h"
+
+namespace crew {
+namespace {
+
+Dataset EasyDataset() {
+  GeneratorConfig config;
+  config.num_matches = 120;
+  config.num_nonmatches = 150;
+  config.seed = 7;
+  auto d = GenerateDataset(config);
+  CREW_CHECK(d.ok());
+  return std::move(d.value());
+}
+
+TEST(RuleMatcherTest, LearnsCompetitiveRule) {
+  auto matcher = RuleMatcher::Train(EasyDataset(), nullptr);
+  ASSERT_TRUE(matcher.ok()) << matcher.status().ToString();
+  const auto metrics = EvaluateMatcher(*matcher.value(), EasyDataset());
+  EXPECT_GT(metrics.F1(), 0.85);
+}
+
+TEST(RuleMatcherTest, RuleStringNamesRealFeatures) {
+  auto matcher = RuleMatcher::Train(EasyDataset(), nullptr);
+  ASSERT_TRUE(matcher.ok());
+  const std::string rule = matcher.value()->RuleString();
+  EXPECT_NE(rule.find(">="), std::string::npos);
+  EXPECT_FALSE(matcher.value()->conditions().empty());
+  EXPECT_LE(matcher.value()->conditions().size(), 2u);
+}
+
+TEST(RuleMatcherTest, SmoothProbabilitySurface) {
+  auto matcher = RuleMatcher::Train(EasyDataset(), nullptr);
+  ASSERT_TRUE(matcher.ok());
+  const Dataset d = EasyDataset();
+  // Scores are graded, not only {0,1}: perturbation explainers need slope.
+  std::set<int> buckets;
+  // Stride across the whole dataset: the generator emits matches first and
+  // sampling a prefix would only probe one class.
+  const int stride = std::max(1, d.size() / 60);
+  for (int i = 0; i < d.size(); i += stride) {
+    const double p = matcher.value()->PredictProba(d.pair(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    buckets.insert(static_cast<int>(p * 20));
+  }
+  EXPECT_GT(static_cast<int>(buckets.size()), 3);
+}
+
+TEST(RuleMatcherTest, MaxConjunctsRespected) {
+  RuleMatcherConfig config;
+  config.max_conjuncts = 1;
+  auto matcher = RuleMatcher::Train(EasyDataset(), nullptr, config);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher.value()->conditions().size(), 1u);
+}
+
+TEST(RuleMatcherTest, RejectsBadInput) {
+  EXPECT_FALSE(RuleMatcher::Train(Dataset(), nullptr).ok());
+  RuleMatcherConfig bad;
+  bad.max_conjuncts = 0;
+  EXPECT_FALSE(RuleMatcher::Train(EasyDataset(), nullptr, bad).ok());
+}
+
+TEST(RuleMatcherTest, NameIsRule) {
+  auto matcher = RuleMatcher::Train(EasyDataset(), nullptr);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher.value()->Name(), "rule");
+}
+
+}  // namespace
+}  // namespace crew

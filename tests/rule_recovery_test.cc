@@ -1,0 +1,105 @@
+// End-to-end scientific sanity check: on the *interpretable-by-
+// construction* rule matcher, whose decision provably depends only on a
+// couple of similarity features, explainers must attribute importance to
+// tokens that move those features — and the global explanation must
+// concentrate on the attributes the rule reads.
+
+#include <gtest/gtest.h>
+
+#include "crew/core/crew_explainer.h"
+#include "crew/data/generator.h"
+#include "crew/eval/global_explanation.h"
+#include "crew/model/rule_matcher.h"
+
+namespace crew {
+namespace {
+
+struct RuleFixture {
+  Dataset dataset;
+  std::unique_ptr<RuleMatcher> matcher;
+
+  static const RuleFixture& Get() {
+    static const RuleFixture* fixture = [] {
+      auto f = new RuleFixture();
+      GeneratorConfig config;
+      config.domain = Domain::kProducts;
+      config.num_matches = 120;
+      config.num_nonmatches = 150;
+      config.seed = 11;
+      auto d = GenerateDataset(config);
+      CREW_CHECK(d.ok());
+      f->dataset = std::move(d.value());
+      auto m = RuleMatcher::Train(f->dataset, nullptr);
+      CREW_CHECK(m.ok());
+      f->matcher = std::move(m.value());
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+TEST(RuleRecoveryTest, TopClusterContainsRuleTokens) {
+  // The induced rule on this dataset reads price similarity only
+  // (RuleUsesOverlapFeature below prints it). CREW's top cluster must
+  // therefore contain price-attribute tokens: the explainer recovers the
+  // feature the rule actually reads.
+  const auto& f = RuleFixture::Get();
+  const int decisive_attr = f.matcher->conditions()[0].feature /
+                            5;  // kPerAttribute features per attribute
+  CrewConfig config;
+  config.importance.perturbation.num_samples = 128;
+  CrewExplainer explainer(nullptr, config);
+  int recovered = 0, tried = 0;
+  for (int i = 0; i < f.dataset.size() && tried < 6; ++i) {
+    const RecordPair& pair = f.dataset.pair(i);
+    if (f.matcher->Predict(pair) != 1) continue;
+    ++tried;
+    auto e = explainer.ExplainClusters(*f.matcher, pair, 31 + i);
+    ASSERT_TRUE(e.ok());
+    if (e->units.empty()) continue;
+    // units[0] has the largest |weight| by construction.
+    bool hits_decisive = false;
+    for (int m : e->units[0].member_indices) {
+      if (e->words.attributions[m].token.attribute == decisive_attr) {
+        hits_decisive = true;
+      }
+    }
+    if (hits_decisive) ++recovered;
+  }
+  ASSERT_GT(tried, 0);
+  EXPECT_GE(recovered * 2, tried);
+}
+
+TEST(RuleRecoveryTest, RuleUsesOverlapFeature) {
+  const auto& f = RuleFixture::Get();
+  // The induced rule should read a similarity feature (they all contain
+  // "jaccard"/"overlap"/"sim"/"monge" in the name) — sanity on induction.
+  const std::string rule = f.matcher->RuleString();
+  const bool mentions_similarity =
+      rule.find("jaccard") != std::string::npos ||
+      rule.find("overlap") != std::string::npos ||
+      rule.find("sim") != std::string::npos ||
+      rule.find("monge") != std::string::npos ||
+      rule.find("cosine") != std::string::npos;
+  EXPECT_TRUE(mentions_similarity) << rule;
+}
+
+TEST(RuleRecoveryTest, GlobalExplanationIsTokenOverlapDriven) {
+  const auto& f = RuleFixture::Get();
+  CrewConfig config;
+  config.importance.perturbation.num_samples = 96;
+  CrewExplainer explainer(nullptr, config);
+  std::vector<int> instances;
+  for (int i = 0; i < 10; ++i) instances.push_back(i * 7 % f.dataset.size());
+  auto global = BuildGlobalExplanation(explainer, *f.matcher, f.dataset,
+                                       instances, 13);
+  ASSERT_TRUE(global.ok());
+  EXPECT_GT(global->instances, 0);
+  // Attribution mass exists and is distributed over real schema columns.
+  double total_share = 0.0;
+  for (const auto& attr : global->attributes) total_share += attr.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "crew/data/record.h"
+#include "crew/data/schema.h"
+
+namespace crew {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddAttribute("name", AttributeType::kText);
+  s.AddAttribute("brand", AttributeType::kCategorical);
+  s.AddAttribute("price", AttributeType::kNumeric);
+  return s;
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.name(0), "name");
+  EXPECT_EQ(s.type(2), AttributeType::kNumeric);
+  EXPECT_EQ(s.IndexOf("brand"), 1);
+  EXPECT_EQ(s.IndexOf("bogus"), -1);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeSchema(), MakeSchema());
+  Schema other = MakeSchema();
+  other.AddAttribute("extra", AttributeType::kText);
+  EXPECT_FALSE(MakeSchema() == other);
+}
+
+TEST(SchemaTest, TypeNames) {
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kText), "text");
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kCategorical), "categorical");
+  EXPECT_STREQ(AttributeTypeName(AttributeType::kNumeric), "numeric");
+}
+
+TEST(RecordTest, DisplayString) {
+  Record r;
+  r.values = {"acme router", "acme", "99"};
+  EXPECT_EQ(r.ToDisplayString(MakeSchema()),
+            "name: acme router | brand: acme | price: 99");
+}
+
+TEST(RecordTest, SideAccessors) {
+  RecordPair p;
+  p.left.values = {"l"};
+  p.right.values = {"r"};
+  EXPECT_EQ(p.side(Side::kLeft).values[0], "l");
+  EXPECT_EQ(p.side(Side::kRight).values[0], "r");
+  p.side(Side::kRight).values[0] = "r2";
+  EXPECT_EQ(p.right.values[0], "r2");
+  EXPECT_STREQ(SideName(Side::kLeft), "left");
+  EXPECT_STREQ(SideName(Side::kRight), "right");
+}
+
+TEST(RecordTest, TokenizeRecordPerAttribute) {
+  Tokenizer t;
+  Record r;
+  r.values = {"Acme Router X1", "ACME", "99.50"};
+  const auto tokens = TokenizeRecord(t, MakeSchema(), r);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], (std::vector<std::string>{"acme", "router", "x1"}));
+  EXPECT_EQ(tokens[1], (std::vector<std::string>{"acme"}));
+  EXPECT_EQ(tokens[2], (std::vector<std::string>{"99", "50"}));
+}
+
+TEST(RecordTest, FlattenTokensInSchemaOrder) {
+  Tokenizer t;
+  Record r;
+  r.values = {"b a", "c", ""};
+  EXPECT_EQ(FlattenTokens(t, MakeSchema(), r),
+            (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(RecordTest, MatchLabelHelpers) {
+  RecordPair p;
+  EXPECT_FALSE(p.IsMatch());  // unlabeled
+  p.label = 1;
+  EXPECT_TRUE(p.IsMatch());
+  p.label = 0;
+  EXPECT_FALSE(p.IsMatch());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,66 @@
+#include "crew/eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/common/rng.h"
+
+namespace crew {
+namespace {
+
+TEST(SignificanceTest, ClearWinnerIsSignificant) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Uniform();
+    a.push_back(base + 0.3 + rng.Normal(0.0, 0.02));
+    b.push_back(base);
+  }
+  auto cmp = PairedBootstrap(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp->mean_difference, 0.3, 0.05);
+  EXPECT_GT(cmp->ci_low, 0.0);
+  EXPECT_TRUE(cmp->SignificantAt(0.05));
+  EXPECT_LT(cmp->p_value, 0.01);
+}
+
+TEST(SignificanceTest, NoDifferenceIsNotSignificant) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  auto cmp = PairedBootstrap(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LE(cmp->ci_low, 0.0);
+  EXPECT_GE(cmp->ci_high, 0.0);
+  EXPECT_FALSE(cmp->SignificantAt(0.01));
+}
+
+TEST(SignificanceTest, DeterministicGivenSeed) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {0.5, 2.5, 2.0, 3.0};
+  auto x = PairedBootstrap(a, b, 500, 7);
+  auto y = PairedBootstrap(a, b, 500, 7);
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_DOUBLE_EQ(x->p_value, y->p_value);
+  EXPECT_DOUBLE_EQ(x->ci_low, y->ci_low);
+}
+
+TEST(SignificanceTest, CiContainsMeanDifference) {
+  std::vector<double> a = {0.9, 0.8, 0.7, 0.95, 0.85};
+  std::vector<double> b = {0.5, 0.6, 0.55, 0.7, 0.6};
+  auto cmp = PairedBootstrap(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LE(cmp->ci_low, cmp->mean_difference);
+  EXPECT_GE(cmp->ci_high, cmp->mean_difference);
+}
+
+TEST(SignificanceTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedBootstrap({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0, 2.0}, {1.0, 2.0}, 5).ok());
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,72 @@
+#include "crew/core/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/common/rng.h"
+
+namespace crew {
+namespace {
+
+// Distance matrix of `k` planted groups of `per` points each: tiny
+// within-group distances, unit across-group distances.
+la::Matrix PlantedGroups(int k, int per, Rng* rng = nullptr) {
+  const int n = k * per;
+  la::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double v = (i / per == j / per) ? 0.05 : 1.0;
+      if (rng != nullptr) v += rng->Uniform(0.0, 0.02);
+      d.At(i, j) = v;
+      d.At(j, i) = v;
+    }
+  }
+  return d;
+}
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  const la::Matrix d = PlantedGroups(2, 3);
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_GT(MeanSilhouette(d, labels), 0.9);
+}
+
+TEST(SilhouetteTest, WrongLabelsScoreLower) {
+  const la::Matrix d = PlantedGroups(2, 3);
+  const std::vector<int> good = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> bad = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(MeanSilhouette(d, good), MeanSilhouette(d, bad));
+  EXPECT_LT(MeanSilhouette(d, bad), 0.0);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  const la::Matrix d = PlantedGroups(2, 2);
+  EXPECT_DOUBLE_EQ(MeanSilhouette(d, {0, 0, 0, 0}), 0.0);
+}
+
+TEST(SilhouetteTest, SingletonsContributeZero) {
+  la::Matrix d(2, 2);
+  d.At(0, 1) = 1.0;
+  d.At(1, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(MeanSilhouette(d, {0, 1}), 0.0);
+}
+
+class ChooseKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChooseKTest, FindsPlantedK) {
+  const int planted_k = GetParam();
+  Rng rng(100 + planted_k);
+  const la::Matrix d = PlantedGroups(planted_k, 4, &rng);
+  const Dendrogram dendrogram = AgglomerativeCluster(d, Linkage::kAverage);
+  EXPECT_EQ(ChooseKBySilhouette(d, dendrogram, 2, 10), planted_k);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedK, ChooseKTest, ::testing::Values(2, 3, 4, 6));
+
+TEST(ChooseKTest, DegenerateRange) {
+  const la::Matrix d = PlantedGroups(2, 2);
+  const Dendrogram dendrogram = AgglomerativeCluster(d, Linkage::kAverage);
+  // max_k < min_k after clamping: falls back gracefully.
+  EXPECT_GE(ChooseKBySilhouette(d, dendrogram, 2, 1), 1);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,56 @@
+#include "crew/eval/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "crew/explain/lime.h"
+#include "crew/explain/random_explainer.h"
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+using testing::TokenWeightMatcher;
+
+TEST(TopKJaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TopKJaccard({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKJaccard({"a", "b"}, {"c", "d"}), 0.0);
+  EXPECT_DOUBLE_EQ(TopKJaccard({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+  EXPECT_DOUBLE_EQ(TopKJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKJaccard({"a"}, {}), 0.0);
+}
+
+TEST(StabilityTest, NeedsTwoSeeds) {
+  TokenWeightMatcher matcher({});
+  LimeExplainer lime;
+  EXPECT_FALSE(
+      ExplainerStability(lime, matcher, MakePair("a", "", "b", ""), {1}, 3)
+          .ok());
+}
+
+TEST(StabilityTest, StrongSignalIsStable) {
+  // One overwhelming token: LIME should find it under any seed.
+  TokenWeightMatcher matcher({{"anchor", 5.0}});
+  LimeConfig config;
+  config.perturbation.num_samples = 256;
+  LimeExplainer lime(config);
+  const RecordPair pair = MakePair("anchor junk1 junk2", "", "junk3", "");
+  auto stability =
+      ExplainerStability(lime, matcher, pair, {1, 2, 3}, /*k=*/1);
+  ASSERT_TRUE(stability.ok());
+  EXPECT_DOUBLE_EQ(*stability, 1.0);
+}
+
+TEST(StabilityTest, RandomExplainerIsUnstable) {
+  TokenWeightMatcher matcher({});
+  RandomExplainer random;
+  const RecordPair pair =
+      MakePair("w1 w2 w3 w4 w5 w6", "w7 w8", "w9 w10 w11", "w12");
+  auto stability =
+      ExplainerStability(random, matcher, pair, {1, 2, 3, 4}, /*k=*/3);
+  ASSERT_TRUE(stability.ok());
+  EXPECT_LT(*stability, 0.6);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,53 @@
+#include "crew/la/stats.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crew::la {
+namespace {
+
+TEST(StatsTest, VarianceAndStdDev) {
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, Percentile) {
+  Vec v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 73), 42.0);
+  // Interpolation between ranks.
+  EXPECT_DOUBLE_EQ(Percentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfectAndZero) {
+  Vec x = {1.0, 2.0, 3.0, 4.0};
+  Vec y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  Vec neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+  Vec constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+}
+
+TEST(StatsTest, RanksWithTies) {
+  EXPECT_EQ(Ranks({10.0, 20.0, 20.0, 30.0}), (Vec{1.0, 2.5, 2.5, 4.0}));
+  EXPECT_EQ(Ranks({3.0, 1.0, 2.0}), (Vec{3.0, 1.0, 2.0}));
+}
+
+TEST(StatsTest, SpearmanMonotoneNonlinear) {
+  // y = x^3 is a nonlinear monotone map: Spearman 1, Pearson < 1.
+  Vec x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Vec y;
+  for (double v : x) y.push_back(v * v * v);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+}  // namespace
+}  // namespace crew::la

@@ -1,0 +1,33 @@
+#include "crew/text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(StopwordsTest, CommonWordsDetected) {
+  for (const char* w : {"the", "and", "of", "with", "a", "is", "you"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsNotDetected) {
+  for (const char* w : {"router", "sony", "price", "zz", "", "thee"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CaseSensitiveByContract) {
+  // The API contract is lower-cased input; uppercase is not matched.
+  EXPECT_FALSE(IsStopword("The"));
+}
+
+TEST(StopwordsTest, BoundaryOfSortedTable) {
+  // First and last entries of the sorted list are found (binary search
+  // boundary conditions).
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("you"));
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,110 @@
+#include "crew/la/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crew::la {
+namespace {
+
+TEST(SymmetricSparseTest, MatVec) {
+  SymmetricSparse m(3);
+  m.SetSymmetric(0, 1, 2.0);
+  m.SetSymmetric(1, 2, -1.0);
+  m.SetSymmetric(2, 2, 4.0);
+  EXPECT_EQ(m.NonZeros(), 5);  // (0,1),(1,0),(1,2),(2,1),(2,2)
+  const Vec y = m.MatVec({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(TruncatedEigenTest, DiagonalMatrix) {
+  SymmetricSparse m(4);
+  m.SetSymmetric(0, 0, 5.0);
+  m.SetSymmetric(1, 1, 3.0);
+  m.SetSymmetric(2, 2, 1.0);
+  m.SetSymmetric(3, 3, 0.5);
+  Matrix vecs;
+  Vec vals;
+  ASSERT_TRUE(
+      TruncatedSymmetricEigen(m, 2, 100, 42, &vecs, &vals).ok());
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_NEAR(vals[0], 5.0, 1e-6);
+  EXPECT_NEAR(vals[1], 3.0, 1e-6);
+  // Leading eigenvector is +-e0.
+  EXPECT_NEAR(std::fabs(vecs.At(0, 0)), 1.0, 1e-6);
+}
+
+TEST(TruncatedEigenTest, EigenEquationHolds) {
+  // Small dense symmetric matrix stored sparsely.
+  SymmetricSparse m(5);
+  const double entries[5][5] = {{4, 1, 0, 0, 2},
+                                {1, 3, 1, 0, 0},
+                                {0, 1, 2, 1, 0},
+                                {0, 0, 1, 5, 1},
+                                {2, 0, 0, 1, 6}};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i; j < 5; ++j) {
+      if (entries[i][j] != 0.0) m.SetSymmetric(i, j, entries[i][j]);
+    }
+  }
+  Matrix vecs;
+  Vec vals;
+  ASSERT_TRUE(TruncatedSymmetricEigen(m, 3, 200, 7, &vecs, &vals).ok());
+  for (int k = 0; k < 3; ++k) {
+    Vec v(5);
+    for (int i = 0; i < 5; ++i) v[i] = vecs.At(i, k);
+    const Vec mv = m.MatVec(v);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NEAR(mv[i], vals[k] * v[i], 1e-4) << "eigpair " << k;
+    }
+  }
+  // Sorted by decreasing magnitude.
+  EXPECT_GE(std::fabs(vals[0]), std::fabs(vals[1]));
+  EXPECT_GE(std::fabs(vals[1]), std::fabs(vals[2]));
+}
+
+TEST(TruncatedEigenTest, EigenvectorsOrthonormal) {
+  SymmetricSparse m(6);
+  for (int i = 0; i < 6; ++i) m.SetSymmetric(i, i, i + 1.0);
+  m.SetSymmetric(0, 5, 0.5);
+  Matrix vecs;
+  Vec vals;
+  ASSERT_TRUE(TruncatedSymmetricEigen(m, 3, 100, 11, &vecs, &vals).ok());
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < 6; ++i) dot += vecs.At(i, a) * vecs.At(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(TruncatedEigenTest, RejectsBadArguments) {
+  SymmetricSparse m(3);
+  Matrix vecs;
+  Vec vals;
+  EXPECT_FALSE(TruncatedSymmetricEigen(m, 0, 10, 1, &vecs, &vals).ok());
+  EXPECT_FALSE(TruncatedSymmetricEigen(m, 4, 10, 1, &vecs, &vals).ok());
+  EXPECT_FALSE(TruncatedSymmetricEigen(m, 2, 0, 1, &vecs, &vals).ok());
+}
+
+TEST(TruncatedEigenTest, DeterministicGivenSeed) {
+  SymmetricSparse m(4);
+  m.SetSymmetric(0, 1, 1.0);
+  m.SetSymmetric(2, 3, 2.0);
+  m.SetSymmetric(0, 0, 3.0);
+  Matrix v1, v2;
+  Vec l1, l2;
+  ASSERT_TRUE(TruncatedSymmetricEigen(m, 2, 50, 9, &v1, &l1).ok());
+  ASSERT_TRUE(TruncatedSymmetricEigen(m, 2, 50, 9, &v2, &l2).ok());
+  for (int i = 0; i < 4; ++i) {
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_DOUBLE_EQ(v1.At(i, k), v2.At(i, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crew::la

@@ -1,0 +1,44 @@
+#include "crew/eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "f1"});
+  t.AddRow({"logistic", "0.95"});
+  t.AddRow({"mlp", "0.9"});
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("logistic  0.95"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2);
+}
+
+TEST(TableTest, MarkdownOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToMarkdown(), "| a | b |\n| --- | --- |\n| 1 | 2 |\n");
+}
+
+TEST(TableTest, TsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(t.ToTsv(), "a\tb\nx\ty\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.23456), "1.235");
+  EXPECT_EQ(Table::Num(1.23456, 1), "1.2");
+  EXPECT_EQ(Table::Num(-0.5, 2), "-0.50");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace crew

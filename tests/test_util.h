@@ -1,0 +1,57 @@
+#ifndef CREW_TESTS_TEST_UTIL_H_
+#define CREW_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <string>
+
+#include "crew/data/record.h"
+#include "crew/la/vector_ops.h"
+#include "crew/model/matcher.h"
+#include "crew/text/tokenizer.h"
+
+namespace crew::testing {
+
+/// A white-box matcher for explainer tests: the score is
+/// sigmoid(bias + sum of per-token weights over all tokens present in the
+/// pair). Ground-truth importances are therefore known exactly — an
+/// explainer must rank high-|weight| tokens above the rest.
+class TokenWeightMatcher : public Matcher {
+ public:
+  TokenWeightMatcher(std::map<std::string, double> weights, double bias = 0.0)
+      : weights_(std::move(weights)), bias_(bias) {}
+
+  double PredictProba(const RecordPair& pair) const override {
+    double z = bias_;
+    for (const Record* record : {&pair.left, &pair.right}) {
+      for (const auto& value : record->values) {
+        for (const auto& token : tokenizer_.Tokenize(value)) {
+          auto it = weights_.find(token);
+          if (it != weights_.end()) z += it->second;
+        }
+      }
+    }
+    return la::Sigmoid(z);
+  }
+
+  std::string Name() const override { return "token_weight_oracle"; }
+
+ private:
+  std::map<std::string, double> weights_;
+  double bias_;
+  Tokenizer tokenizer_;
+};
+
+/// Builds a flat 2-attribute pair from free-text values.
+inline RecordPair MakePair(const std::string& l0, const std::string& l1,
+                           const std::string& r0, const std::string& r1,
+                           int label = -1) {
+  RecordPair pair;
+  pair.left.values = {l0, l1};
+  pair.right.values = {r0, r1};
+  pair.label = label;
+  return pair;
+}
+
+}  // namespace crew::testing
+
+#endif  // CREW_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+#include "crew/explain/token_view.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace crew {
+namespace {
+
+using testing::MakePair;
+
+PairTokenView MakeView(const RecordPair& pair) {
+  return PairTokenView(AnonymousSchema(pair), Tokenizer(), pair);
+}
+
+TEST(TokenViewTest, EnumeratesLeftThenRightInAttributeOrder) {
+  const RecordPair pair = MakePair("a b", "c", "d", "e f");
+  PairTokenView view(AnonymousSchema(pair), Tokenizer(), pair);
+  ASSERT_EQ(view.size(), 6);
+  EXPECT_EQ(view.token(0).text, "a");
+  EXPECT_EQ(view.token(0).side, Side::kLeft);
+  EXPECT_EQ(view.token(0).attribute, 0);
+  EXPECT_EQ(view.token(1).text, "b");
+  EXPECT_EQ(view.token(1).position, 1);
+  EXPECT_EQ(view.token(2).text, "c");
+  EXPECT_EQ(view.token(2).attribute, 1);
+  EXPECT_EQ(view.token(3).side, Side::kRight);
+  EXPECT_EQ(view.token(5).text, "f");
+}
+
+TEST(TokenViewTest, IndicesOnSide) {
+  const RecordPair pair = MakePair("a b", "c", "d", "e");
+  const auto view = MakeView(pair);
+  EXPECT_EQ(view.IndicesOnSide(Side::kLeft), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(view.IndicesOnSide(Side::kRight), (std::vector<int>{3, 4}));
+}
+
+TEST(TokenViewTest, MaterializeKeepAll) {
+  const RecordPair pair = MakePair("Acme Router", "99", "acme", "100");
+  const auto view = MakeView(pair);
+  const RecordPair m = view.Materialize(std::vector<bool>(view.size(), true));
+  // Normalized (lowercased, space-joined) but content-complete.
+  EXPECT_EQ(m.left.values[0], "acme router");
+  EXPECT_EQ(m.right.values[1], "100");
+}
+
+TEST(TokenViewTest, MaterializeDropsTokens) {
+  const RecordPair pair = MakePair("a b c", "", "x", "");
+  const auto view = MakeView(pair);
+  std::vector<bool> keep(view.size(), true);
+  keep[1] = false;  // drop "b"
+  const RecordPair m = view.Materialize(keep);
+  EXPECT_EQ(m.left.values[0], "a c");
+  EXPECT_EQ(m.right.values[0], "x");
+}
+
+TEST(TokenViewTest, InjectionAppendsToOppositeSide) {
+  const RecordPair pair = MakePair("a", "", "x", "");
+  const auto view = MakeView(pair);
+  std::vector<bool> keep(view.size(), true);
+  std::vector<bool> inject(view.size(), false);
+  inject[0] = true;  // left "a" injected into the right record
+  const RecordPair m = view.MaterializeWithInjection(keep, inject);
+  EXPECT_EQ(m.left.values[0], "a");
+  EXPECT_EQ(m.right.values[0], "x a");
+}
+
+TEST(TokenViewTest, InjectionOfDroppedTokenMovesIt) {
+  const RecordPair pair = MakePair("a", "", "x", "");
+  const auto view = MakeView(pair);
+  std::vector<bool> keep(view.size(), true);
+  std::vector<bool> inject(view.size(), false);
+  keep[0] = false;
+  inject[0] = true;
+  const RecordPair m = view.MaterializeWithInjection(keep, inject);
+  EXPECT_EQ(m.left.values[0], "");
+  EXPECT_EQ(m.right.values[0], "x a");
+}
+
+TEST(TokenViewTest, SubstitutionReplacesOneToken) {
+  const RecordPair pair = MakePair("a b", "", "x", "");
+  const auto view = MakeView(pair);
+  const RecordPair m = view.MaterializeWithSubstitution(1, "zzz");
+  EXPECT_EQ(m.left.values[0], "a zzz");
+  EXPECT_EQ(m.right.values[0], "x");
+}
+
+TEST(TokenViewTest, LabelPreserved) {
+  RecordPair pair = MakePair("a", "", "b", "", /*label=*/1);
+  const auto view = MakeView(pair);
+  EXPECT_EQ(view.Materialize(std::vector<bool>(view.size(), true)).label, 1);
+}
+
+TEST(TokenViewTest, EmptyPair) {
+  const RecordPair pair = MakePair("", "", "", "");
+  const auto view = MakeView(pair);
+  EXPECT_EQ(view.size(), 0);
+  const RecordPair m = view.Materialize({});
+  EXPECT_EQ(m.left.values[0], "");
+}
+
+TEST(AnonymousSchemaTest, MatchesArity) {
+  const RecordPair pair = MakePair("a", "b", "c", "d");
+  const Schema schema = AnonymousSchema(pair);
+  EXPECT_EQ(schema.size(), 2);
+  EXPECT_EQ(schema.name(0), "attr0");
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,57 @@
+#include "crew/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Sony WH-1000XM4!"),
+            (std::vector<std::string>{"sony", "wh", "1000xm4"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize(" ,;-!  ").empty());
+}
+
+TEST(TokenizerTest, KeepsDigitsByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("price 456.99"),
+            (std::vector<std::string>{"price", "456", "99"}));
+}
+
+TEST(TokenizerTest, DropNumbersOption) {
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("abc 123 x9"),
+            (std::vector<std::string>{"abc", "x9"}));
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("Ab cD"), (std::vector<std::string>{"Ab", "cD"}));
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  Tokenizer t(options);
+  EXPECT_EQ(t.Tokenize("a bb ccc dddd"),
+            (std::vector<std::string>{"ccc", "dddd"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesActAsSeparators) {
+  Tokenizer t;
+  // UTF-8 "café" -> 'caf' + multi-byte 'é' dropped as separator.
+  EXPECT_EQ(t.Tokenize("caf\xc3\xa9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,66 @@
+#include "crew/la/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crew::la {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vec a = {1.0, 2.0, 3.0};
+  Vec b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(Norm(Vec{}), 0.0);
+}
+
+TEST(VectorOpsTest, CosineBounds) {
+  Vec a = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(Cosine(a, {2.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, {-3.0, 0.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Cosine(a, {0.0, 0.0}), 0.0);  // zero vector convention
+}
+
+TEST(VectorOpsTest, AxpyScaleNormalize) {
+  Vec x = {1.0, 2.0};
+  Vec y = {10.0, 20.0};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12.0, 24.0}));
+  Scale(0.5, y);
+  EXPECT_EQ(y, (Vec{6.0, 12.0}));
+  Vec z = {3.0, 4.0};
+  NormalizeInPlace(z);
+  EXPECT_NEAR(Norm(z), 1.0, 1e-12);
+  Vec zero = {0.0, 0.0};
+  NormalizeInPlace(zero);
+  EXPECT_EQ(zero, (Vec{0.0, 0.0}));
+}
+
+TEST(VectorOpsTest, ElementwiseOps) {
+  Vec a = {1.0, -2.0};
+  Vec b = {3.0, 5.0};
+  EXPECT_EQ(Add(a, b), (Vec{4.0, 3.0}));
+  EXPECT_EQ(Sub(a, b), (Vec{-2.0, -7.0}));
+  EXPECT_EQ(Hadamard(a, b), (Vec{3.0, -10.0}));
+  EXPECT_EQ(Abs(a), (Vec{1.0, 2.0}));
+}
+
+TEST(VectorOpsTest, SigmoidStableAndCorrect) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0) + Sigmoid(2.0), 1.0, 1e-12);
+  // No overflow at extremes.
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(VectorOpsTest, ArgMaxAndMean) {
+  EXPECT_EQ(ArgMax({1.0, 5.0, 3.0, 5.0}), 1);  // first max wins
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace crew::la

@@ -1,0 +1,63 @@
+#include "crew/text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace crew {
+namespace {
+
+TEST(VocabularyTest, AddAssignsDenseStableIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Add("apple"), 0);
+  EXPECT_EQ(v.Add("pear"), 1);
+  EXPECT_EQ(v.Add("apple"), 0);  // existing id
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.TokenOf(0), "apple");
+  EXPECT_EQ(v.CountOf(0), 2);
+  EXPECT_EQ(v.CountOf(1), 1);
+  EXPECT_EQ(v.TotalCount(), 3);
+}
+
+TEST(VocabularyTest, GetIdUnknown) {
+  Vocabulary v;
+  v.Add("x");
+  EXPECT_EQ(v.GetId("y"), Vocabulary::kUnknownId);
+  EXPECT_TRUE(v.Contains("x"));
+  EXPECT_FALSE(v.Contains("y"));
+}
+
+TEST(VocabularyTest, AddCountBulk) {
+  Vocabulary v;
+  v.AddCount("a", 10);
+  v.AddCount("a", 5);
+  EXPECT_EQ(v.CountOf(v.GetId("a")), 15);
+  EXPECT_EQ(v.TotalCount(), 15);
+}
+
+TEST(VocabularyTest, PrunedKeepsOrderAndCounts) {
+  Vocabulary v;
+  v.AddCount("rare", 1);
+  v.AddCount("common", 10);
+  v.AddCount("mid", 3);
+  Vocabulary pruned = v.Pruned(3);
+  EXPECT_EQ(pruned.size(), 2);
+  EXPECT_EQ(pruned.GetId("common"), 0);  // insertion order preserved
+  EXPECT_EQ(pruned.GetId("mid"), 1);
+  EXPECT_EQ(pruned.GetId("rare"), Vocabulary::kUnknownId);
+  EXPECT_EQ(pruned.CountOf(0), 10);
+}
+
+TEST(VocabularyTest, TopKByCount) {
+  Vocabulary v;
+  v.AddCount("a", 2);
+  v.AddCount("b", 9);
+  v.AddCount("c", 9);
+  v.AddCount("d", 1);
+  const auto top = v.TopKByCount(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(v.TokenOf(top[0]), "b");  // tie broken by id
+  EXPECT_EQ(v.TokenOf(top[1]), "c");
+  EXPECT_EQ(v.TopKByCount(100).size(), 4u);
+}
+
+}  // namespace
+}  // namespace crew
