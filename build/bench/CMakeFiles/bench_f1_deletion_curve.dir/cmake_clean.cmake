@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_deletion_curve.dir/bench_f1_deletion_curve.cc.o"
+  "CMakeFiles/bench_f1_deletion_curve.dir/bench_f1_deletion_curve.cc.o.d"
+  "bench_f1_deletion_curve"
+  "bench_f1_deletion_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_deletion_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_k_sensitivity.dir/bench_f2_k_sensitivity.cc.o"
+  "CMakeFiles/bench_f2_k_sensitivity.dir/bench_f2_k_sensitivity.cc.o.d"
+  "bench_f2_k_sensitivity"
+  "bench_f2_k_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_k_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_ablation.dir/bench_f3_ablation.cc.o"
+  "CMakeFiles/bench_f3_ablation.dir/bench_f3_ablation.cc.o.d"
+  "bench_f3_ablation"
+  "bench_f3_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

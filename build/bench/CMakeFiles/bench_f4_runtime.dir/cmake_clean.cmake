@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_runtime.dir/bench_f4_runtime.cc.o"
+  "CMakeFiles/bench_f4_runtime.dir/bench_f4_runtime.cc.o.d"
+  "bench_f4_runtime"
+  "bench_f4_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_match_vs_nonmatch.dir/bench_f5_match_vs_nonmatch.cc.o"
+  "CMakeFiles/bench_f5_match_vs_nonmatch.dir/bench_f5_match_vs_nonmatch.cc.o.d"
+  "bench_f5_match_vs_nonmatch"
+  "bench_f5_match_vs_nonmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_match_vs_nonmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f5_match_vs_nonmatch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_flipset.dir/bench_f6_flipset.cc.o"
+  "CMakeFiles/bench_f6_flipset.dir/bench_f6_flipset.cc.o.d"
+  "bench_f6_flipset"
+  "bench_f6_flipset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_flipset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

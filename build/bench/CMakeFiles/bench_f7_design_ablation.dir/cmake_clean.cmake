@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_design_ablation.dir/bench_f7_design_ablation.cc.o"
+  "CMakeFiles/bench_f7_design_ablation.dir/bench_f7_design_ablation.cc.o.d"
+  "bench_f7_design_ablation"
+  "bench_f7_design_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_design_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_datasets.dir/bench_t1_datasets.cc.o"
+  "CMakeFiles/bench_t1_datasets.dir/bench_t1_datasets.cc.o.d"
+  "bench_t1_datasets"
+  "bench_t1_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

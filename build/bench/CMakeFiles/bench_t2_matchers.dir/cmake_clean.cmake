@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_matchers.dir/bench_t2_matchers.cc.o"
+  "CMakeFiles/bench_t2_matchers.dir/bench_t2_matchers.cc.o.d"
+  "bench_t2_matchers"
+  "bench_t2_matchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_matchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

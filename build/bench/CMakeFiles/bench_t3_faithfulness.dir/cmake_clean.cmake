@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_faithfulness.dir/bench_t3_faithfulness.cc.o"
+  "CMakeFiles/bench_t3_faithfulness.dir/bench_t3_faithfulness.cc.o.d"
+  "bench_t3_faithfulness"
+  "bench_t3_faithfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_suff_compr.dir/bench_t4_suff_compr.cc.o"
+  "CMakeFiles/bench_t4_suff_compr.dir/bench_t4_suff_compr.cc.o.d"
+  "bench_t4_suff_compr"
+  "bench_t4_suff_compr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_suff_compr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

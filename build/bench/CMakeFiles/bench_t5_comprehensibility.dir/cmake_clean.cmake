@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_comprehensibility.dir/bench_t5_comprehensibility.cc.o"
+  "CMakeFiles/bench_t5_comprehensibility.dir/bench_t5_comprehensibility.cc.o.d"
+  "bench_t5_comprehensibility"
+  "bench_t5_comprehensibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_comprehensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

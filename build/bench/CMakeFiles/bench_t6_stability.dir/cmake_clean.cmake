@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_stability.dir/bench_t6_stability.cc.o"
+  "CMakeFiles/bench_t6_stability.dir/bench_t6_stability.cc.o.d"
+  "bench_t6_stability"
+  "bench_t6_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_global.dir/bench_t7_global.cc.o"
+  "CMakeFiles/bench_t7_global.dir/bench_t7_global.cc.o.d"
+  "bench_t7_global"
+  "bench_t7_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

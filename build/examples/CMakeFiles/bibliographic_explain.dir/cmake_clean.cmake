@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliographic_explain.dir/bibliographic_explain.cpp.o"
+  "CMakeFiles/bibliographic_explain.dir/bibliographic_explain.cpp.o.d"
+  "bibliographic_explain"
+  "bibliographic_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliographic_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

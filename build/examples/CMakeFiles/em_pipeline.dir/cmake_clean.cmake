@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_pipeline.dir/em_pipeline.cpp.o"
+  "CMakeFiles/em_pipeline.dir/em_pipeline.cpp.o.d"
+  "em_pipeline"
+  "em_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_csv.dir/explain_csv.cpp.o"
+  "CMakeFiles/explain_csv.dir/explain_csv.cpp.o.d"
+  "explain_csv"
+  "explain_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/products_explain.dir/products_explain.cpp.o"
+  "CMakeFiles/products_explain.dir/products_explain.cpp.o.d"
+  "products_explain"
+  "products_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/products_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

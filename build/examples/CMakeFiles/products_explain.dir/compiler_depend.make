@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for products_explain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/common/flags.cc" "src/CMakeFiles/crew_common.dir/crew/common/flags.cc.o" "gcc" "src/CMakeFiles/crew_common.dir/crew/common/flags.cc.o.d"
+  "/root/repo/src/crew/common/logging.cc" "src/CMakeFiles/crew_common.dir/crew/common/logging.cc.o" "gcc" "src/CMakeFiles/crew_common.dir/crew/common/logging.cc.o.d"
+  "/root/repo/src/crew/common/rng.cc" "src/CMakeFiles/crew_common.dir/crew/common/rng.cc.o" "gcc" "src/CMakeFiles/crew_common.dir/crew/common/rng.cc.o.d"
+  "/root/repo/src/crew/common/status.cc" "src/CMakeFiles/crew_common.dir/crew/common/status.cc.o" "gcc" "src/CMakeFiles/crew_common.dir/crew/common/status.cc.o.d"
+  "/root/repo/src/crew/common/string_util.cc" "src/CMakeFiles/crew_common.dir/crew/common/string_util.cc.o" "gcc" "src/CMakeFiles/crew_common.dir/crew/common/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_common.dir/crew/common/flags.cc.o"
+  "CMakeFiles/crew_common.dir/crew/common/flags.cc.o.d"
+  "CMakeFiles/crew_common.dir/crew/common/logging.cc.o"
+  "CMakeFiles/crew_common.dir/crew/common/logging.cc.o.d"
+  "CMakeFiles/crew_common.dir/crew/common/rng.cc.o"
+  "CMakeFiles/crew_common.dir/crew/common/rng.cc.o.d"
+  "CMakeFiles/crew_common.dir/crew/common/status.cc.o"
+  "CMakeFiles/crew_common.dir/crew/common/status.cc.o.d"
+  "CMakeFiles/crew_common.dir/crew/common/string_util.cc.o"
+  "CMakeFiles/crew_common.dir/crew/common/string_util.cc.o.d"
+  "libcrew_common.a"
+  "libcrew_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

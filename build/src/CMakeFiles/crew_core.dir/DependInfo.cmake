@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/core/affinity.cc" "src/CMakeFiles/crew_core.dir/crew/core/affinity.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/affinity.cc.o.d"
+  "/root/repo/src/crew/core/agglomerative.cc" "src/CMakeFiles/crew_core.dir/crew/core/agglomerative.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/agglomerative.cc.o.d"
+  "/root/repo/src/crew/core/cluster_explanation.cc" "src/CMakeFiles/crew_core.dir/crew/core/cluster_explanation.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/cluster_explanation.cc.o.d"
+  "/root/repo/src/crew/core/correlation_clustering.cc" "src/CMakeFiles/crew_core.dir/crew/core/correlation_clustering.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/correlation_clustering.cc.o.d"
+  "/root/repo/src/crew/core/counterfactual.cc" "src/CMakeFiles/crew_core.dir/crew/core/counterfactual.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/counterfactual.cc.o.d"
+  "/root/repo/src/crew/core/crew_explainer.cc" "src/CMakeFiles/crew_core.dir/crew/core/crew_explainer.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/crew_explainer.cc.o.d"
+  "/root/repo/src/crew/core/decision_units.cc" "src/CMakeFiles/crew_core.dir/crew/core/decision_units.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/decision_units.cc.o.d"
+  "/root/repo/src/crew/core/html_report.cc" "src/CMakeFiles/crew_core.dir/crew/core/html_report.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/html_report.cc.o.d"
+  "/root/repo/src/crew/core/silhouette.cc" "src/CMakeFiles/crew_core.dir/crew/core/silhouette.cc.o" "gcc" "src/CMakeFiles/crew_core.dir/crew/core/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_core.dir/crew/core/affinity.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/affinity.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/agglomerative.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/agglomerative.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/cluster_explanation.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/cluster_explanation.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/correlation_clustering.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/correlation_clustering.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/counterfactual.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/counterfactual.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/crew_explainer.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/crew_explainer.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/decision_units.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/decision_units.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/html_report.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/html_report.cc.o.d"
+  "CMakeFiles/crew_core.dir/crew/core/silhouette.cc.o"
+  "CMakeFiles/crew_core.dir/crew/core/silhouette.cc.o.d"
+  "libcrew_core.a"
+  "libcrew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/data/benchmark_suite.cc" "src/CMakeFiles/crew_data.dir/crew/data/benchmark_suite.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/benchmark_suite.cc.o.d"
+  "/root/repo/src/crew/data/blocking.cc" "src/CMakeFiles/crew_data.dir/crew/data/blocking.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/blocking.cc.o.d"
+  "/root/repo/src/crew/data/csv.cc" "src/CMakeFiles/crew_data.dir/crew/data/csv.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/csv.cc.o.d"
+  "/root/repo/src/crew/data/dataset.cc" "src/CMakeFiles/crew_data.dir/crew/data/dataset.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/dataset.cc.o.d"
+  "/root/repo/src/crew/data/generator.cc" "src/CMakeFiles/crew_data.dir/crew/data/generator.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/generator.cc.o.d"
+  "/root/repo/src/crew/data/magellan.cc" "src/CMakeFiles/crew_data.dir/crew/data/magellan.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/magellan.cc.o.d"
+  "/root/repo/src/crew/data/noise.cc" "src/CMakeFiles/crew_data.dir/crew/data/noise.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/noise.cc.o.d"
+  "/root/repo/src/crew/data/record.cc" "src/CMakeFiles/crew_data.dir/crew/data/record.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/record.cc.o.d"
+  "/root/repo/src/crew/data/schema.cc" "src/CMakeFiles/crew_data.dir/crew/data/schema.cc.o" "gcc" "src/CMakeFiles/crew_data.dir/crew/data/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_data.dir/crew/data/benchmark_suite.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/benchmark_suite.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/blocking.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/blocking.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/csv.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/csv.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/dataset.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/dataset.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/generator.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/generator.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/magellan.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/magellan.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/noise.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/noise.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/record.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/record.cc.o.d"
+  "CMakeFiles/crew_data.dir/crew/data/schema.cc.o"
+  "CMakeFiles/crew_data.dir/crew/data/schema.cc.o.d"
+  "libcrew_data.a"
+  "libcrew_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/embed/cooccurrence.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/cooccurrence.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/cooccurrence.cc.o.d"
+  "/root/repo/src/crew/embed/embedding_io.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/embedding_io.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/embedding_io.cc.o.d"
+  "/root/repo/src/crew/embed/embedding_store.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/embedding_store.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/embedding_store.cc.o.d"
+  "/root/repo/src/crew/embed/ppmi.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/ppmi.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/ppmi.cc.o.d"
+  "/root/repo/src/crew/embed/sgns.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/sgns.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/sgns.cc.o.d"
+  "/root/repo/src/crew/embed/svd_embedding.cc" "src/CMakeFiles/crew_embed.dir/crew/embed/svd_embedding.cc.o" "gcc" "src/CMakeFiles/crew_embed.dir/crew/embed/svd_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_embed.dir/crew/embed/cooccurrence.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/cooccurrence.cc.o.d"
+  "CMakeFiles/crew_embed.dir/crew/embed/embedding_io.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/embedding_io.cc.o.d"
+  "CMakeFiles/crew_embed.dir/crew/embed/embedding_store.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/embedding_store.cc.o.d"
+  "CMakeFiles/crew_embed.dir/crew/embed/ppmi.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/ppmi.cc.o.d"
+  "CMakeFiles/crew_embed.dir/crew/embed/sgns.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/sgns.cc.o.d"
+  "CMakeFiles/crew_embed.dir/crew/embed/svd_embedding.cc.o"
+  "CMakeFiles/crew_embed.dir/crew/embed/svd_embedding.cc.o.d"
+  "libcrew_embed.a"
+  "libcrew_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

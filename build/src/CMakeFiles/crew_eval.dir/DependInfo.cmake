@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/eval/comprehensibility.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/comprehensibility.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/comprehensibility.cc.o.d"
+  "/root/repo/src/crew/eval/experiment.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/experiment.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/experiment.cc.o.d"
+  "/root/repo/src/crew/eval/faithfulness.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/faithfulness.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/faithfulness.cc.o.d"
+  "/root/repo/src/crew/eval/global_explanation.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/global_explanation.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/global_explanation.cc.o.d"
+  "/root/repo/src/crew/eval/significance.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/significance.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/significance.cc.o.d"
+  "/root/repo/src/crew/eval/stability.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/stability.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/stability.cc.o.d"
+  "/root/repo/src/crew/eval/table.cc" "src/CMakeFiles/crew_eval.dir/crew/eval/table.cc.o" "gcc" "src/CMakeFiles/crew_eval.dir/crew/eval/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

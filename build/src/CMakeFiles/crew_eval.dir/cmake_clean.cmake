@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_eval.dir/crew/eval/comprehensibility.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/comprehensibility.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/experiment.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/experiment.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/faithfulness.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/faithfulness.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/global_explanation.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/global_explanation.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/significance.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/significance.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/stability.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/stability.cc.o.d"
+  "CMakeFiles/crew_eval.dir/crew/eval/table.cc.o"
+  "CMakeFiles/crew_eval.dir/crew/eval/table.cc.o.d"
+  "libcrew_eval.a"
+  "libcrew_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

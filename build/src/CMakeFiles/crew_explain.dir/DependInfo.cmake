@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/explain/attribution.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/attribution.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/attribution.cc.o.d"
+  "/root/repo/src/crew/explain/certa.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/certa.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/certa.cc.o.d"
+  "/root/repo/src/crew/explain/landmark.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/landmark.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/landmark.cc.o.d"
+  "/root/repo/src/crew/explain/lemon.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/lemon.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/lemon.cc.o.d"
+  "/root/repo/src/crew/explain/lime.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/lime.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/lime.cc.o.d"
+  "/root/repo/src/crew/explain/mojito.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/mojito.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/mojito.cc.o.d"
+  "/root/repo/src/crew/explain/perturbation.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/perturbation.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/perturbation.cc.o.d"
+  "/root/repo/src/crew/explain/random_explainer.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/random_explainer.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/random_explainer.cc.o.d"
+  "/root/repo/src/crew/explain/serialize.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/serialize.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/serialize.cc.o.d"
+  "/root/repo/src/crew/explain/shap.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/shap.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/shap.cc.o.d"
+  "/root/repo/src/crew/explain/token_view.cc" "src/CMakeFiles/crew_explain.dir/crew/explain/token_view.cc.o" "gcc" "src/CMakeFiles/crew_explain.dir/crew/explain/token_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_embed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_explain.dir/crew/explain/attribution.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/attribution.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/certa.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/certa.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/landmark.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/landmark.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/lemon.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/lemon.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/lime.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/lime.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/mojito.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/mojito.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/perturbation.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/perturbation.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/random_explainer.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/random_explainer.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/serialize.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/serialize.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/shap.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/shap.cc.o.d"
+  "CMakeFiles/crew_explain.dir/crew/explain/token_view.cc.o"
+  "CMakeFiles/crew_explain.dir/crew/explain/token_view.cc.o.d"
+  "libcrew_explain.a"
+  "libcrew_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/la/matrix.cc" "src/CMakeFiles/crew_la.dir/crew/la/matrix.cc.o" "gcc" "src/CMakeFiles/crew_la.dir/crew/la/matrix.cc.o.d"
+  "/root/repo/src/crew/la/ridge.cc" "src/CMakeFiles/crew_la.dir/crew/la/ridge.cc.o" "gcc" "src/CMakeFiles/crew_la.dir/crew/la/ridge.cc.o.d"
+  "/root/repo/src/crew/la/stats.cc" "src/CMakeFiles/crew_la.dir/crew/la/stats.cc.o" "gcc" "src/CMakeFiles/crew_la.dir/crew/la/stats.cc.o.d"
+  "/root/repo/src/crew/la/svd.cc" "src/CMakeFiles/crew_la.dir/crew/la/svd.cc.o" "gcc" "src/CMakeFiles/crew_la.dir/crew/la/svd.cc.o.d"
+  "/root/repo/src/crew/la/vector_ops.cc" "src/CMakeFiles/crew_la.dir/crew/la/vector_ops.cc.o" "gcc" "src/CMakeFiles/crew_la.dir/crew/la/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

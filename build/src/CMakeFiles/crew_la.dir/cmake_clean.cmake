@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_la.dir/crew/la/matrix.cc.o"
+  "CMakeFiles/crew_la.dir/crew/la/matrix.cc.o.d"
+  "CMakeFiles/crew_la.dir/crew/la/ridge.cc.o"
+  "CMakeFiles/crew_la.dir/crew/la/ridge.cc.o.d"
+  "CMakeFiles/crew_la.dir/crew/la/stats.cc.o"
+  "CMakeFiles/crew_la.dir/crew/la/stats.cc.o.d"
+  "CMakeFiles/crew_la.dir/crew/la/svd.cc.o"
+  "CMakeFiles/crew_la.dir/crew/la/svd.cc.o.d"
+  "CMakeFiles/crew_la.dir/crew/la/vector_ops.cc.o"
+  "CMakeFiles/crew_la.dir/crew/la/vector_ops.cc.o.d"
+  "libcrew_la.a"
+  "libcrew_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

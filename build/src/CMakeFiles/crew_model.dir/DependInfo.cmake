@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/model/embedding_bag_matcher.cc" "src/CMakeFiles/crew_model.dir/crew/model/embedding_bag_matcher.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/embedding_bag_matcher.cc.o.d"
+  "/root/repo/src/crew/model/features.cc" "src/CMakeFiles/crew_model.dir/crew/model/features.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/features.cc.o.d"
+  "/root/repo/src/crew/model/logistic_matcher.cc" "src/CMakeFiles/crew_model.dir/crew/model/logistic_matcher.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/logistic_matcher.cc.o.d"
+  "/root/repo/src/crew/model/metrics.cc" "src/CMakeFiles/crew_model.dir/crew/model/metrics.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/metrics.cc.o.d"
+  "/root/repo/src/crew/model/mlp_matcher.cc" "src/CMakeFiles/crew_model.dir/crew/model/mlp_matcher.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/mlp_matcher.cc.o.d"
+  "/root/repo/src/crew/model/random_forest_matcher.cc" "src/CMakeFiles/crew_model.dir/crew/model/random_forest_matcher.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/random_forest_matcher.cc.o.d"
+  "/root/repo/src/crew/model/rule_matcher.cc" "src/CMakeFiles/crew_model.dir/crew/model/rule_matcher.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/rule_matcher.cc.o.d"
+  "/root/repo/src/crew/model/trainer.cc" "src/CMakeFiles/crew_model.dir/crew/model/trainer.cc.o" "gcc" "src/CMakeFiles/crew_model.dir/crew/model/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_embed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_model.dir/crew/model/embedding_bag_matcher.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/embedding_bag_matcher.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/features.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/features.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/logistic_matcher.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/logistic_matcher.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/metrics.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/metrics.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/mlp_matcher.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/mlp_matcher.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/random_forest_matcher.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/random_forest_matcher.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/rule_matcher.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/rule_matcher.cc.o.d"
+  "CMakeFiles/crew_model.dir/crew/model/trainer.cc.o"
+  "CMakeFiles/crew_model.dir/crew/model/trainer.cc.o.d"
+  "libcrew_model.a"
+  "libcrew_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crew/text/stopwords.cc" "src/CMakeFiles/crew_text.dir/crew/text/stopwords.cc.o" "gcc" "src/CMakeFiles/crew_text.dir/crew/text/stopwords.cc.o.d"
+  "/root/repo/src/crew/text/string_similarity.cc" "src/CMakeFiles/crew_text.dir/crew/text/string_similarity.cc.o" "gcc" "src/CMakeFiles/crew_text.dir/crew/text/string_similarity.cc.o.d"
+  "/root/repo/src/crew/text/tokenizer.cc" "src/CMakeFiles/crew_text.dir/crew/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/crew_text.dir/crew/text/tokenizer.cc.o.d"
+  "/root/repo/src/crew/text/vocabulary.cc" "src/CMakeFiles/crew_text.dir/crew/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/crew_text.dir/crew/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

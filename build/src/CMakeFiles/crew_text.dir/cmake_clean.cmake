@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_text.dir/crew/text/stopwords.cc.o"
+  "CMakeFiles/crew_text.dir/crew/text/stopwords.cc.o.d"
+  "CMakeFiles/crew_text.dir/crew/text/string_similarity.cc.o"
+  "CMakeFiles/crew_text.dir/crew/text/string_similarity.cc.o.d"
+  "CMakeFiles/crew_text.dir/crew/text/tokenizer.cc.o"
+  "CMakeFiles/crew_text.dir/crew/text/tokenizer.cc.o.d"
+  "CMakeFiles/crew_text.dir/crew/text/vocabulary.cc.o"
+  "CMakeFiles/crew_text.dir/crew/text/vocabulary.cc.o.d"
+  "libcrew_text.a"
+  "libcrew_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

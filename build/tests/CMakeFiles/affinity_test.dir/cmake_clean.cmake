@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_test.dir/affinity_test.cc.o"
+  "CMakeFiles/affinity_test.dir/affinity_test.cc.o.d"
+  "affinity_test"
+  "affinity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agglomerative_test.dir/agglomerative_test.cc.o"
+  "CMakeFiles/agglomerative_test.dir/agglomerative_test.cc.o.d"
+  "agglomerative_test"
+  "agglomerative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agglomerative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comprehensibility_test.dir/comprehensibility_test.cc.o"
+  "CMakeFiles/comprehensibility_test.dir/comprehensibility_test.cc.o.d"
+  "comprehensibility_test"
+  "comprehensibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comprehensibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_clustering_test.dir/correlation_clustering_test.cc.o"
+  "CMakeFiles/correlation_clustering_test.dir/correlation_clustering_test.cc.o.d"
+  "correlation_clustering_test"
+  "correlation_clustering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

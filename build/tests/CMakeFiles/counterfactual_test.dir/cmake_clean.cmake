@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_test.dir/counterfactual_test.cc.o"
+  "CMakeFiles/counterfactual_test.dir/counterfactual_test.cc.o.d"
+  "counterfactual_test"
+  "counterfactual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_explainer_test.dir/crew_explainer_test.cc.o"
+  "CMakeFiles/crew_explainer_test.dir/crew_explainer_test.cc.o.d"
+  "crew_explainer_test"
+  "crew_explainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_explainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

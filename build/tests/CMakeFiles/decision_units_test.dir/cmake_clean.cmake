@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_units_test.dir/decision_units_test.cc.o"
+  "CMakeFiles/decision_units_test.dir/decision_units_test.cc.o.d"
+  "decision_units_test"
+  "decision_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

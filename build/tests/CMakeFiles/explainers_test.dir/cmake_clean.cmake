@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainers_test.dir/explainers_test.cc.o"
+  "CMakeFiles/explainers_test.dir/explainers_test.cc.o.d"
+  "explainers_test"
+  "explainers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faithfulness_test.dir/faithfulness_test.cc.o"
+  "CMakeFiles/faithfulness_test.dir/faithfulness_test.cc.o.d"
+  "faithfulness_test"
+  "faithfulness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faithfulness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_explanation_test.dir/global_explanation_test.cc.o"
+  "CMakeFiles/global_explanation_test.dir/global_explanation_test.cc.o.d"
+  "global_explanation_test"
+  "global_explanation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_explanation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

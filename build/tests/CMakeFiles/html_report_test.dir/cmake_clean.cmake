@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_report_test.dir/html_report_test.cc.o"
+  "CMakeFiles/html_report_test.dir/html_report_test.cc.o.d"
+  "html_report_test"
+  "html_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

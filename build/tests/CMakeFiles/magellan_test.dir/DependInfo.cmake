@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/magellan_test.cc" "tests/CMakeFiles/magellan_test.dir/magellan_test.cc.o" "gcc" "tests/CMakeFiles/magellan_test.dir/magellan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crew_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/crew_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magellan_test.dir/magellan_test.cc.o"
+  "CMakeFiles/magellan_test.dir/magellan_test.cc.o.d"
+  "magellan_test"
+  "magellan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magellan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matchers_test.dir/matchers_test.cc.o"
+  "CMakeFiles/matchers_test.dir/matchers_test.cc.o.d"
+  "matchers_test"
+  "matchers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

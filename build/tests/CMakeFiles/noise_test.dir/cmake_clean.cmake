@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_test.dir/noise_test.cc.o"
+  "CMakeFiles/noise_test.dir/noise_test.cc.o.d"
+  "noise_test"
+  "noise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturbation_test.dir/perturbation_test.cc.o"
+  "CMakeFiles/perturbation_test.dir/perturbation_test.cc.o.d"
+  "perturbation_test"
+  "perturbation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturbation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridge_test.dir/ridge_test.cc.o"
+  "CMakeFiles/ridge_test.dir/ridge_test.cc.o.d"
+  "ridge_test"
+  "ridge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

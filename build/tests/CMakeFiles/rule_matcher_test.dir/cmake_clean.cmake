@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_matcher_test.dir/rule_matcher_test.cc.o"
+  "CMakeFiles/rule_matcher_test.dir/rule_matcher_test.cc.o.d"
+  "rule_matcher_test"
+  "rule_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

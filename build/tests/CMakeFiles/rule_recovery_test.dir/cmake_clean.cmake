@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_recovery_test.dir/rule_recovery_test.cc.o"
+  "CMakeFiles/rule_recovery_test.dir/rule_recovery_test.cc.o.d"
+  "rule_recovery_test"
+  "rule_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

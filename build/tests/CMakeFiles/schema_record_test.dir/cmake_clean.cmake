@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_record_test.dir/schema_record_test.cc.o"
+  "CMakeFiles/schema_record_test.dir/schema_record_test.cc.o.d"
+  "schema_record_test"
+  "schema_record_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

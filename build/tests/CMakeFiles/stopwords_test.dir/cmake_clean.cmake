@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stopwords_test.dir/stopwords_test.cc.o"
+  "CMakeFiles/stopwords_test.dir/stopwords_test.cc.o.d"
+  "stopwords_test"
+  "stopwords_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stopwords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

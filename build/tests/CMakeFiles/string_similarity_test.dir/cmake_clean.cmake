@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_similarity_test.dir/string_similarity_test.cc.o"
+  "CMakeFiles/string_similarity_test.dir/string_similarity_test.cc.o.d"
+  "string_similarity_test"
+  "string_similarity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

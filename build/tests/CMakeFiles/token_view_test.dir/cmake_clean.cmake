@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_view_test.dir/token_view_test.cc.o"
+  "CMakeFiles/token_view_test.dir/token_view_test.cc.o.d"
+  "token_view_test"
+  "token_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

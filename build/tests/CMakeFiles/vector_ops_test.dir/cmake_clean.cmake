@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_ops_test.dir/vector_ops_test.cc.o"
+  "CMakeFiles/vector_ops_test.dir/vector_ops_test.cc.o.d"
+  "vector_ops_test"
+  "vector_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
