@@ -2,12 +2,15 @@
 //
 // Every perturbation explainer is linear in the sample budget (each sample
 // is one matcher call); CERTA is linear in tokens x substitutions. The
-// bench sweeps the budget and reports mean milliseconds per explanation.
+// bench sweeps the budget and reports mean milliseconds per explanation,
+// plus the batch scoring engine's per-stage counters (predictions issued,
+// batches dispatched, time spent materializing vs predicting).
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 
 int main(int argc, char** argv) {
   auto options = crew::bench::BenchOptions::Parse(argc, argv);
@@ -16,13 +19,18 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "== F4: explanation runtime vs perturbation samples ==\n"
-      "matcher=%s dataset=%s instances=%d\n\n",
-      options.matcher.c_str(), options.dataset.c_str(), options.instances);
+      "matcher=%s dataset=%s instances=%d threads=%d (0 = hardware: %d)\n\n",
+      options.matcher.c_str(), options.dataset.c_str(), options.instances,
+      options.threads, crew::HardwareThreads());
 
   const auto entries = options.Datasets();
   const auto prepared = crew::bench::Prepare(entries[0], options);
 
-  crew::Table table({"samples", "explainer", "ms/explanation"});
+  crew::Table table(
+      {"samples", "explainer", "ms/explanation", "preds", "batches",
+       "mat-ms", "pred-ms"});
+  crew::ResetScoringStats();
+  crew::ScoringStats cumulative;
   for (int samples : {32, 64, 128, 256, 512, 1024}) {
     crew::ExplainerSuiteConfig config;
     config.num_samples = samples;
@@ -30,6 +38,7 @@ int main(int argc, char** argv) {
     const auto suite = crew::BuildExplainerSuite(
         prepared.pipeline.embeddings, prepared.pipeline.train, config);
     for (const auto& explainer : suite) {
+      crew::ResetScoringStats();
       crew::WallTimer timer;
       int n = 0;
       for (int idx : prepared.instances) {
@@ -39,11 +48,26 @@ int main(int argc, char** argv) {
         crew::bench::DieIfError(e.status());
         ++n;
       }
+      const crew::ScoringStats stats = crew::GlobalScoringStats();
+      cumulative.predictions += stats.predictions;
+      cumulative.batches += stats.batches;
+      cumulative.materialize_ms += stats.materialize_ms;
+      cumulative.predict_ms += stats.predict_ms;
       table.AddRow({std::to_string(samples), explainer->Name(),
-                    crew::Table::Num(timer.ElapsedMillis() / n, 2)});
+                    crew::Table::Num(timer.ElapsedMillis() / n, 2),
+                    std::to_string(stats.predictions),
+                    std::to_string(stats.batches),
+                    crew::Table::Num(stats.materialize_ms, 1),
+                    crew::Table::Num(stats.predict_ms, 1)});
     }
   }
   std::printf("%s\n", table.ToAligned().c_str());
+  std::printf(
+      "engine totals: %lld predictions in %lld batches | materialize %.1f ms"
+      " | predict %.1f ms (summed across scoring threads)\n",
+      static_cast<long long>(cumulative.predictions),
+      static_cast<long long>(cumulative.batches), cumulative.materialize_ms,
+      cumulative.predict_ms);
   std::printf(
       "(CERTA's cost is per-token, not per-sample, so its column is flat)\n");
   return 0;

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "crew/common/rng.h"
 #include "crew/core/agglomerative.h"
 #include "crew/data/generator.h"
@@ -94,6 +96,74 @@ void BM_MatcherPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatcherPredict);
+
+// One trained pipeline per matcher kind, built lazily and shared across
+// benchmark iterations (training is far too slow to repeat per run).
+const crew::TrainedPipeline& PipelineFor(crew::MatcherKind kind) {
+  static auto* pipelines =
+      new std::map<crew::MatcherKind, crew::TrainedPipeline>();
+  auto it = pipelines->find(kind);
+  if (it == pipelines->end()) {
+    crew::GeneratorConfig config;
+    config.num_matches = 100;
+    config.num_nonmatches = 100;
+    auto d = crew::GenerateDataset(config);
+    CREW_CHECK(d.ok());
+    auto p = crew::TrainPipeline(d.value(), kind, 0.7, 7);
+    CREW_CHECK(p.ok());
+    it = pipelines->emplace(kind, std::move(p.value())).first;
+  }
+  return it->second;
+}
+
+// Batched scoring vs the per-pair loop, per matcher kind and batch size.
+// The batch path hoists feature/tokenization/embedding buffers out of the
+// per-sample loop; the gap between the two is the per-sample setup cost.
+void BM_PredictProbaBatch(benchmark::State& state) {
+  const auto kind = static_cast<crew::MatcherKind>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const auto& pipeline = PipelineFor(kind);
+  std::vector<crew::RecordPair> pairs;
+  pairs.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    pairs.push_back(pipeline.test.pair(i % pipeline.test.size()));
+  }
+  std::vector<double> scores;
+  for (auto _ : state) {
+    pipeline.matcher->PredictProbaBatch(pairs, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_PredictProbaLoop(benchmark::State& state) {
+  const auto kind = static_cast<crew::MatcherKind>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const auto& pipeline = PipelineFor(kind);
+  std::vector<crew::RecordPair> pairs;
+  pairs.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    pairs.push_back(pipeline.test.pair(i % pipeline.test.size()));
+  }
+  std::vector<double> scores(batch);
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      scores[i] = pipeline.matcher->PredictProba(pairs[i]);
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BatchArgs(benchmark::internal::Benchmark* b) {
+  for (crew::MatcherKind kind : crew::AllMatcherKinds()) {
+    for (int batch : {32, 256, 1024}) {
+      b->Args({static_cast<long>(kind), batch});
+    }
+  }
+}
+BENCHMARK(BM_PredictProbaBatch)->Apply(BatchArgs);
+BENCHMARK(BM_PredictProbaLoop)->Apply(BatchArgs);
 
 void BM_SgnsEpoch(benchmark::State& state) {
   crew::Corpus corpus;

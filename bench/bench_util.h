@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "crew/common/flags.h"
+#include "crew/common/thread_pool.h"
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/experiment.h"
 #include "crew/eval/table.h"
@@ -24,6 +25,7 @@ struct BenchOptions {
   uint64_t seed = 7;
   std::string matcher = "mlp";
   std::string dataset;   ///< empty = all nine
+  int threads = 0;       ///< scoring threads; 0 = hardware, 1 = legacy serial
 
   static BenchOptions Parse(int argc, char** argv) {
     FlagParser flags(argc, argv);
@@ -39,6 +41,8 @@ struct BenchOptions {
     o.seed = flags.GetUint64("seed", o.seed);
     o.matcher = flags.GetString("matcher", o.matcher);
     o.dataset = flags.GetString("dataset", o.dataset);
+    o.threads = flags.GetInt("threads", o.threads);
+    SetScoringThreads(o.threads);
     return o;
   }
 

@@ -1,0 +1,138 @@
+#include "crew/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "crew/common/logging.h"
+
+namespace crew {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CREW_CHECK(!shutdown_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int begin, int end)>& fn) {
+  if (n <= 0) return;
+  const int threads = pool == nullptr ? 1 : pool->size();
+  if (threads <= 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  // Deterministic chunking: ceil(n / chunks) per chunk, purely a function
+  // of n and the pool size. The caller thread takes chunk 0 so small inputs
+  // don't pay a handoff for their first range. Re-deriving the chunk count
+  // from per_chunk drops the trailing empty ranges that ceil division can
+  // leave (e.g. n=5, threads=4 -> per_chunk=2 -> 3 chunks, not 4).
+  const int want_chunks = std::min(threads, n);
+  const int per_chunk = (n + want_chunks - 1) / want_chunks;
+  const int chunks = (n + per_chunk - 1) / per_chunk;
+
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->pending = chunks - 1;
+
+  for (int c = 1; c < chunks; ++c) {
+    const int begin = c * per_chunk;
+    const int end = std::min(n, begin + per_chunk);
+    pool->Submit([fn, begin, end, barrier] {
+      fn(begin, end);
+      {
+        std::lock_guard<std::mutex> lock(barrier->mu);
+        --barrier->pending;
+      }
+      barrier->cv.notify_one();
+    });
+  }
+  fn(0, std::min(n, per_chunk));
+  std::unique_lock<std::mutex> lock(barrier->mu);
+  barrier->cv.wait(lock, [&] { return barrier->pending == 0; });
+}
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+std::atomic<int> g_scoring_threads{0};  // 0 = hardware concurrency
+
+struct SharedPoolHolder {
+  std::mutex mu;
+  int built_for = -1;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+SharedPoolHolder& PoolHolder() {
+  static SharedPoolHolder* holder = new SharedPoolHolder();
+  return *holder;
+}
+
+}  // namespace
+
+void SetScoringThreads(int n) {
+  g_scoring_threads.store(std::max(0, n), std::memory_order_relaxed);
+}
+
+int ScoringThreads() {
+  const int n = g_scoring_threads.load(std::memory_order_relaxed);
+  return n == 0 ? HardwareThreads() : n;
+}
+
+ThreadPool* SharedScoringPool() {
+  const int want = ScoringThreads();
+  if (want <= 1) return nullptr;
+  SharedPoolHolder& holder = PoolHolder();
+  std::lock_guard<std::mutex> lock(holder.mu);
+  if (holder.built_for != want) {
+    holder.pool.reset();  // join old workers before spawning the new set
+    holder.pool = std::make_unique<ThreadPool>(want);
+    holder.built_for = want;
+  }
+  return holder.pool.get();
+}
+
+}  // namespace crew

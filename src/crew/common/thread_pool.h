@@ -1,0 +1,74 @@
+#ifndef CREW_COMMON_THREAD_POOL_H_
+#define CREW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crew {
+
+/// Fixed-size worker pool for the batch scoring engine.
+///
+/// Workers are started once and live for the pool's lifetime; tasks are
+/// plain std::function jobs drained FIFO. The pool itself imposes no
+/// ordering on results — determinism is the caller's job (see ParallelFor,
+/// which assigns index ranges so every output slot is written by exactly
+/// one task regardless of which worker runs it).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker.
+  void Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(begin, end)` over a deterministic chunking of [0, n).
+///
+/// The chunk boundaries depend only on `n` and `pool->size()` — never on
+/// scheduling — and every index belongs to exactly one chunk, so a function
+/// that writes results by index produces bit-identical output for any
+/// thread count (including the pool == nullptr / single-thread case, which
+/// runs fn(0, n) inline on the caller thread). Blocks until all chunks are
+/// done. `fn` must be safe to invoke concurrently on disjoint ranges.
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int begin, int end)>& fn);
+
+/// max(1, std::thread::hardware_concurrency()).
+int HardwareThreads();
+
+/// Sets the process-wide scoring thread count used by the batch scoring
+/// engine. 0 (the default) means HardwareThreads(); 1 means exact legacy
+/// single-thread behavior (no pool, all work inline on the caller thread).
+/// Not thread-safe against concurrent scoring — call it from the top-level
+/// thread between scoring runs (benches call it once at startup).
+void SetScoringThreads(int n);
+
+/// The resolved scoring thread count (>= 1).
+int ScoringThreads();
+
+/// Lazily-built shared pool sized to ScoringThreads(); nullptr when the
+/// resolved count is 1. Rebuilt on the next call after SetScoringThreads.
+ThreadPool* SharedScoringPool();
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "crew/common/string_util.h"
+#include "crew/explain/batch_scorer.h"
 
 namespace crew {
 
@@ -25,19 +26,29 @@ Counterfactual GenerateCounterfactual(
                            : units[a].weight < units[b].weight;
   });
 
+  // Score every cumulative removal prefix in one batch, then pick the first
+  // one that flips. Identical to the early-exit loop: scoring is pure, so
+  // evaluating past the flip point changes nothing.
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(order.size());
   std::vector<bool> keep(view.size(), true);
   for (int u : order) {
+    for (int i : units[u].member_indices) keep[i] = false;
+    keeps.push_back(keep);
+  }
+  const BatchScorer scorer(matcher, view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (size_t p = 0; p < order.size(); ++p) {
+    const int u = order[p];
     out.removed_units.push_back(u);
     for (int i : units[u].member_indices) {
-      keep[i] = false;
       out.removed_words.push_back(view.token(i).text);
     }
-    const RecordPair candidate = view.Materialize(keep);
-    const double score = matcher.PredictProba(candidate);
-    if ((score >= threshold) != predicted_match) {
+    if ((scores[p] >= threshold) != predicted_match) {
       out.found = true;
-      out.flipped_pair = candidate;
-      out.flipped_score = score;
+      out.flipped_pair = view.Materialize(keeps[p]);
+      out.flipped_score = scores[p];
       return out;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "crew/common/timer.h"
 #include "crew/core/silhouette.h"
+#include "crew/explain/batch_scorer.h"
 
 namespace crew {
 
@@ -56,10 +57,21 @@ Result<ClusterExplanation> CrewExplainer::ExplainClusters(
   std::vector<std::vector<int>> members(k);
   for (int i = 0; i < n; ++i) members[labels[i]].push_back(i);
 
-  // Stage 4: cluster scoring.
+  // Stage 4: cluster scoring. All k cluster-removal masks are scored in one
+  // batch through the scoring engine.
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);
   CREW_CHECK(view.size() == n);
+  std::vector<double> without(k, 0.0);
+  if (config_.rescore_clusters) {
+    std::vector<std::vector<bool>> keeps(k);
+    for (int c = 0; c < k; ++c) {
+      keeps[c].assign(n, true);
+      for (int i : members[c]) keeps[c][i] = false;
+    }
+    const BatchScorer scorer(matcher, view);
+    scorer.ScoreKeepMasks(keeps, &without);
+  }
   out.units.reserve(k);
   for (int c = 0; c < k; ++c) {
     ExplanationUnit unit;
@@ -68,11 +80,7 @@ Result<ClusterExplanation> CrewExplainer::ExplainClusters(
     for (int i : members[c]) member_sum += out.words.attributions[i].weight;
     double weight = member_sum;
     if (config_.rescore_clusters) {
-      std::vector<bool> keep(n, true);
-      for (int i : members[c]) keep[i] = false;
-      const double without =
-          matcher.PredictProba(view.Materialize(keep));
-      const double rescored = out.words.base_score - without;
+      const double rescored = out.words.base_score - without[c];
       // Symmetric deletion can be blind: removing a cluster that holds the
       // matching tokens of BOTH records leaves set-similarity features
       // (e.g. Jaccard of two emptied attributes) unchanged, so the probe

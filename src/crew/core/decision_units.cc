@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 #include "crew/text/string_similarity.h"
 
@@ -101,6 +102,10 @@ DecisionUnitExplainer::ExplainUnits(const Matcher& matcher,
   la::Vec y(n), w(n);
   std::vector<int> pool(u_count);
   for (int i = 0; i < u_count; ++i) pool[i] = i;
+  // Unit-drop masks and the design matrix are built here on the caller
+  // thread; the masks are then scored in one batch.
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(n);
   for (int s = 0; s < n; ++s) {
     std::vector<bool> keep(view.size(), true);
     const int n_remove = 1 + rng.UniformInt(u_count);
@@ -121,8 +126,12 @@ DecisionUnitExplainer::ExplainUnits(const Matcher& matcher,
         static_cast<double>(n_remove) / static_cast<double>(u_count);
     const double kw = config_.perturbation.kernel_width;
     w[s] = std::exp(-(removed_fraction * removed_fraction) / (kw * kw));
-    y[s] = matcher.PredictProba(view.Materialize(keep));
+    keeps.push_back(std::move(keep));
   }
+  const BatchScorer scorer(matcher, view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (int s = 0; s < n; ++s) y[s] = scores[s];
   la::RidgeModel model;
   CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
   words.surrogate_r2 = model.r2;

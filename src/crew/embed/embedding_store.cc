@@ -42,7 +42,15 @@ double EmbeddingStore::Similarity(std::string_view a,
 
 la::Vec EmbeddingStore::MeanVector(
     const std::vector<std::string>& tokens) const {
-  la::Vec mean(dim(), 0.0);
+  la::Vec mean;
+  MeanVectorInto(tokens, &mean);
+  return mean;
+}
+
+void EmbeddingStore::MeanVectorInto(const std::vector<std::string>& tokens,
+                                    la::Vec* out) const {
+  out->assign(dim(), 0.0);
+  la::Vec& mean = *out;
   int n = 0;
   for (const auto& tok : tokens) {
     const int id = vocab_.GetId(tok);
@@ -52,7 +60,6 @@ la::Vec EmbeddingStore::MeanVector(
     ++n;
   }
   if (n > 0) la::Scale(1.0 / n, mean);
-  return mean;
 }
 
 std::vector<std::pair<std::string, double>> EmbeddingStore::NearestNeighbors(

@@ -42,6 +42,11 @@ class EmbeddingStore {
   /// nothing is in vocabulary.
   la::Vec MeanVector(const std::vector<std::string>& tokens) const;
 
+  /// MeanVector writing into `out` (resized to dim()), so batch scoring
+  /// loops can reuse the buffer instead of allocating per pair.
+  void MeanVectorInto(const std::vector<std::string>& tokens,
+                      la::Vec* out) const;
+
   /// The `k` nearest tokens to `token` by cosine (excluding itself).
   std::vector<std::pair<std::string, double>> NearestNeighbors(
       std::string_view token, int k) const;

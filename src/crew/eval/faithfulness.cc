@@ -5,28 +5,43 @@
 #include <numeric>
 
 #include "crew/common/logging.h"
+#include "crew/explain/batch_scorer.h"
 
 namespace crew {
 namespace {
 
-// Deletes the units listed in `unit_indices` and returns the matcher score.
-double ScoreWithoutUnits(const Matcher& matcher, const EvalInstance& instance,
-                         const std::vector<int>& unit_indices) {
+// Keep-mask deleting the units listed in `unit_indices`.
+std::vector<bool> MaskWithoutUnits(const EvalInstance& instance,
+                                   const std::vector<int>& unit_indices) {
   std::vector<bool> keep(instance.view.size(), true);
   for (int u : unit_indices) {
     for (int i : instance.units[u].member_indices) keep[i] = false;
   }
-  return matcher.PredictProba(instance.view.Materialize(keep));
+  return keep;
+}
+
+// Keep-mask keeping ONLY the units listed; every other token is deleted.
+std::vector<bool> MaskWithOnlyUnits(const EvalInstance& instance,
+                                    const std::vector<int>& unit_indices) {
+  std::vector<bool> keep(instance.view.size(), false);
+  for (int u : unit_indices) {
+    for (int i : instance.units[u].member_indices) keep[i] = true;
+  }
+  return keep;
+}
+
+// Deletes the units listed in `unit_indices` and returns the matcher score.
+double ScoreWithoutUnits(const Matcher& matcher, const EvalInstance& instance,
+                         const std::vector<int>& unit_indices) {
+  return matcher.PredictProba(
+      instance.view.Materialize(MaskWithoutUnits(instance, unit_indices)));
 }
 
 // Keeps ONLY the units listed; every other token is deleted.
 double ScoreWithOnlyUnits(const Matcher& matcher, const EvalInstance& instance,
                           const std::vector<int>& unit_indices) {
-  std::vector<bool> keep(instance.view.size(), false);
-  for (int u : unit_indices) {
-    for (int i : instance.units[u].member_indices) keep[i] = true;
-  }
-  return matcher.PredictProba(instance.view.Materialize(keep));
+  return matcher.PredictProba(
+      instance.view.Materialize(MaskWithOnlyUnits(instance, unit_indices)));
 }
 
 }  // namespace
@@ -75,9 +90,22 @@ double AopcDeletion(const Matcher& matcher, const EvalInstance& instance,
   if (instance.units.empty()) return 0.0;
   const int kk = std::min<int>(max_k, static_cast<int>(instance.units.size()));
   if (kk <= 0) return 0.0;
-  double total = 0.0;
+  // All top-k deletion prefixes (k = 1..kk) scored in one batch.
+  const auto ranked = instance.RankUnitsBySupport();
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(kk);
   for (int k = 1; k <= kk; ++k) {
-    total += ComprehensivenessAtK(matcher, instance, k);
+    keeps.push_back(MaskWithoutUnits(
+        instance, std::vector<int>(ranked.begin(), ranked.begin() + k)));
+  }
+  const BatchScorer scorer(matcher, instance.view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  const bool match = instance.PredictedMatch();
+  const double base = PredictedClassProb(instance.base_score, match);
+  double total = 0.0;
+  for (int k = 0; k < kk; ++k) {
+    total += base - PredictedClassProb(scores[k], match);
   }
   return total / static_cast<double>(kk);
 }
@@ -89,19 +117,22 @@ double AopcInsertion(const Matcher& matcher, const EvalInstance& instance,
   if (kk <= 0) return 0.0;
   const auto ranked = instance.RankUnitsBySupport();
   const bool match = instance.PredictedMatch();
-  const double empty = PredictedClassProb(
-      matcher.PredictProba(
-          instance.view.Materialize(std::vector<bool>(instance.view.size(),
-                                                      false))),
-      match);
-  double total = 0.0;
+  // Batch: all top-k insertion prefixes plus the empty baseline (last row).
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(kk + 1);
   std::vector<int> inserted;
   for (int k = 1; k <= kk; ++k) {
     inserted.push_back(ranked[k - 1]);
-    const double with_top =
-        PredictedClassProb(ScoreWithOnlyUnits(matcher, instance, inserted),
-                           match);
-    total += with_top - empty;
+    keeps.push_back(MaskWithOnlyUnits(instance, inserted));
+  }
+  keeps.emplace_back(instance.view.size(), false);
+  const BatchScorer scorer(matcher, instance.view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  const double empty = PredictedClassProb(scores[kk], match);
+  double total = 0.0;
+  for (int k = 0; k < kk; ++k) {
+    total += PredictedClassProb(scores[k], match) - empty;
   }
   return total / static_cast<double>(kk);
 }
@@ -138,14 +169,23 @@ FlipSetResult MinimalFlipSet(const Matcher& matcher,
   if (instance.units.empty()) return result;
   const auto ranked = instance.RankUnitsBySupport();
   const bool predicted_match = instance.PredictedMatch();
+  // All removal prefixes scored in one batch; the first flip wins, exactly
+  // as in the early-exit loop (scoring is pure).
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(ranked.size());
   std::vector<int> selected;
   for (int u : ranked) {
     selected.push_back(u);
-    result.units_removed = static_cast<int>(selected.size());
-    result.tokens_removed +=
-        static_cast<int>(instance.units[u].member_indices.size());
-    const double after = ScoreWithoutUnits(matcher, instance, selected);
-    if ((after >= instance.threshold) != predicted_match) {
+    keeps.push_back(MaskWithoutUnits(instance, selected));
+  }
+  const BatchScorer scorer(matcher, instance.view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (size_t p = 0; p < ranked.size(); ++p) {
+    result.units_removed = static_cast<int>(p + 1);
+    result.tokens_removed += static_cast<int>(
+        instance.units[ranked[p]].member_indices.size());
+    if ((scores[p] >= instance.threshold) != predicted_match) {
       result.flipped = true;
       return result;
     }
@@ -156,21 +196,31 @@ FlipSetResult MinimalFlipSet(const Matcher& matcher,
 std::vector<double> DeletionCurve(const Matcher& matcher,
                                   const EvalInstance& instance,
                                   const std::vector<double>& fractions) {
-  std::vector<double> curve;
-  curve.reserve(fractions.size());
+  std::vector<double> curve(fractions.size());
   const auto ranked = instance.RankUnitsBySupport();
   const bool match = instance.PredictedMatch();
   const int n = static_cast<int>(ranked.size());
-  for (double f : fractions) {
+  // Build every fraction's deletion mask, score them in one batch, then
+  // stitch the curve back together (k <= 0 rows read the base score).
+  std::vector<std::vector<bool>> keeps;
+  std::vector<size_t> rows;  // curve index of each batched mask
+  for (size_t fi = 0; fi < fractions.size(); ++fi) {
     const int k = std::min(
-        n, static_cast<int>(std::ceil(f * static_cast<double>(n) - 1e-12)));
+        n, static_cast<int>(
+               std::ceil(fractions[fi] * static_cast<double>(n) - 1e-12)));
     if (k <= 0) {
-      curve.push_back(PredictedClassProb(instance.base_score, match));
+      curve[fi] = PredictedClassProb(instance.base_score, match);
       continue;
     }
-    const std::vector<int> top(ranked.begin(), ranked.begin() + k);
-    curve.push_back(
-        PredictedClassProb(ScoreWithoutUnits(matcher, instance, top), match));
+    keeps.push_back(MaskWithoutUnits(
+        instance, std::vector<int>(ranked.begin(), ranked.begin() + k)));
+    rows.push_back(fi);
+  }
+  const BatchScorer scorer(matcher, instance.view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (size_t b = 0; b < rows.size(); ++b) {
+    curve[rows[b]] = PredictedClassProb(scores[b], match);
   }
   return curve;
 }

@@ -1,0 +1,145 @@
+#include "crew/explain/batch_scorer.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "crew/common/logging.h"
+#include "crew/common/thread_pool.h"
+#include "crew/common/timer.h"
+
+namespace crew {
+namespace {
+
+// Pairs are materialized into a fixed ring of this many reused RecordPair
+// slots per worker chunk, so steady-state scoring allocates nothing per
+// sample while PredictProbaBatch still sees real batches.
+constexpr int kBlockSize = 64;
+
+std::atomic<std::int64_t> g_predictions{0};
+std::atomic<std::int64_t> g_batches{0};
+std::atomic<std::int64_t> g_materialize_ns{0};
+std::atomic<std::int64_t> g_predict_ns{0};
+
+void AddStageTimes(double materialize_seconds, double predict_seconds) {
+  g_materialize_ns.fetch_add(
+      static_cast<std::int64_t>(materialize_seconds * 1e9),
+      std::memory_order_relaxed);
+  g_predict_ns.fetch_add(static_cast<std::int64_t>(predict_seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ScoringStats GlobalScoringStats() {
+  ScoringStats stats;
+  stats.predictions = g_predictions.load(std::memory_order_relaxed);
+  stats.batches = g_batches.load(std::memory_order_relaxed);
+  stats.materialize_ms =
+      static_cast<double>(g_materialize_ns.load(std::memory_order_relaxed)) /
+      1e6;
+  stats.predict_ms =
+      static_cast<double>(g_predict_ns.load(std::memory_order_relaxed)) / 1e6;
+  return stats;
+}
+
+void ResetScoringStats() {
+  g_predictions.store(0, std::memory_order_relaxed);
+  g_batches.store(0, std::memory_order_relaxed);
+  g_materialize_ns.store(0, std::memory_order_relaxed);
+  g_predict_ns.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Scores n samples: materialize(i, slot) writes sample i into a reused
+// RecordPair slot, then the matcher scores kBlockSize-sized blocks. Chunked
+// over the shared pool; every output index is written exactly once.
+template <typename MaterializeFn>
+void ScoreMaterialized(const Matcher& matcher, int n,
+                       const MaterializeFn& materialize,
+                       std::vector<double>* out) {
+  out->assign(n, 0.0);
+  if (n == 0) return;
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_predictions.fetch_add(n, std::memory_order_relaxed);
+  double* scores = out->data();
+  auto work = [&matcher, &materialize, scores](int begin, int end) {
+    std::vector<RecordPair> block(std::min(kBlockSize, end - begin));
+    double materialize_s = 0.0, predict_s = 0.0;
+    WallTimer timer;
+    for (int b = begin; b < end; b += kBlockSize) {
+      const int block_n = std::min(kBlockSize, end - b);
+      timer.Restart();
+      for (int i = 0; i < block_n; ++i) materialize(b + i, &block[i]);
+      materialize_s += timer.ElapsedSeconds();
+      timer.Restart();
+      matcher.PredictProbaBatch(block.data(), block_n, scores + b);
+      predict_s += timer.ElapsedSeconds();
+    }
+    AddStageTimes(materialize_s, predict_s);
+  };
+  ParallelFor(SharedScoringPool(), n, work);
+}
+
+}  // namespace
+
+void BatchScorer::ScoreKeepMasks(const std::vector<std::vector<bool>>& keeps,
+                                 std::vector<double>* out) const {
+  CREW_CHECK(view_ != nullptr);
+  ScoreMaterialized(
+      matcher_, static_cast<int>(keeps.size()),
+      [this, &keeps](int i, RecordPair* slot) {
+        view_->MaterializeInto(keeps[i], slot);
+      },
+      out);
+}
+
+void BatchScorer::ScoreInjectionMasks(
+    const std::vector<std::vector<bool>>& keeps,
+    const std::vector<std::vector<bool>>& injects,
+    std::vector<double>* out) const {
+  CREW_CHECK(view_ != nullptr);
+  CREW_CHECK(keeps.size() == injects.size());
+  ScoreMaterialized(
+      matcher_, static_cast<int>(keeps.size()),
+      [this, &keeps, &injects](int i, RecordPair* slot) {
+        view_->MaterializeWithInjectionInto(keeps[i], injects[i], slot);
+      },
+      out);
+}
+
+void BatchScorer::ScorePairs(const std::vector<RecordPair>& pairs,
+                             std::vector<double>* out) const {
+  const int n = static_cast<int>(pairs.size());
+  out->assign(n, 0.0);
+  if (n == 0) return;
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_predictions.fetch_add(n, std::memory_order_relaxed);
+  const RecordPair* data = pairs.data();
+  double* scores = out->data();
+  auto work = [this, data, scores](int begin, int end) {
+    WallTimer timer;
+    matcher_.PredictProbaBatch(data + begin,
+                               static_cast<size_t>(end - begin),
+                               scores + begin);
+    AddStageTimes(0.0, timer.ElapsedSeconds());
+  };
+  ParallelFor(SharedScoringPool(), n, work);
+}
+
+double BatchScorer::ScoreKeepMask(const std::vector<bool>& keep) const {
+  CREW_CHECK(view_ != nullptr);
+  g_batches.fetch_add(1, std::memory_order_relaxed);
+  g_predictions.fetch_add(1, std::memory_order_relaxed);
+  WallTimer timer;
+  RecordPair pair;
+  view_->MaterializeInto(keep, &pair);
+  const double materialize_s = timer.ElapsedSeconds();
+  timer.Restart();
+  double score = 0.0;
+  matcher_.PredictProbaBatch(&pair, 1, &score);
+  AddStageTimes(materialize_s, timer.ElapsedSeconds());
+  return score;
+}
+
+}  // namespace crew

@@ -1,0 +1,73 @@
+#ifndef CREW_EXPLAIN_BATCH_SCORER_H_
+#define CREW_EXPLAIN_BATCH_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crew/explain/token_view.h"
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+/// Process-wide counters for the batch scoring engine (reset + snapshot
+/// from benches; see bench_f4_runtime). Stage times are summed across
+/// worker threads, so with T threads they can exceed wall time — they
+/// answer "where does the scoring work go", wall clock answers "how fast".
+struct ScoringStats {
+  std::int64_t predictions = 0;  ///< matcher scores issued through the engine
+  std::int64_t batches = 0;      ///< ScoreKeepMasks/ScorePairs/... calls
+  double materialize_ms = 0.0;   ///< keep-mask -> RecordPair reconstruction
+  double predict_ms = 0.0;       ///< Matcher::PredictProbaBatch time
+};
+
+/// Snapshot of the global counters.
+ScoringStats GlobalScoringStats();
+void ResetScoringStats();
+
+/// The one funnel between explainers and the matcher: materializes
+/// interpretable-space perturbations (keep / injection masks) into record
+/// pairs and scores them through Matcher::PredictProbaBatch, chunked over
+/// the shared scoring pool (SetScoringThreads; 1 = inline legacy path).
+///
+/// Determinism contract: the scorer only evaluates pure per-sample
+/// functions and writes results by index, so output is bit-identical for
+/// any thread count. All randomness (mask generation) stays with the
+/// caller, which runs single-threaded.
+class BatchScorer {
+ public:
+  /// Pair-scoring only (ScorePairs); mask methods require a view.
+  explicit BatchScorer(const Matcher& matcher)
+      : matcher_(matcher), view_(nullptr) {}
+
+  /// `view` must outlive the scorer.
+  BatchScorer(const Matcher& matcher, const PairTokenView& view)
+      : matcher_(matcher), view_(&view) {}
+
+  /// (*out)[i] = PredictProba(view.Materialize(keeps[i])).
+  void ScoreKeepMasks(const std::vector<std::vector<bool>>& keeps,
+                      std::vector<double>* out) const;
+
+  /// (*out)[i] = PredictProba(view.MaterializeWithInjection(keeps[i],
+  /// injects[i])).
+  void ScoreInjectionMasks(const std::vector<std::vector<bool>>& keeps,
+                           const std::vector<std::vector<bool>>& injects,
+                           std::vector<double>* out) const;
+
+  /// (*out)[i] = PredictProba(pairs[i]) — for explainers whose perturbations
+  /// are record edits rather than keep-masks (Mojito-copy, CERTA).
+  void ScorePairs(const std::vector<RecordPair>& pairs,
+                  std::vector<double>* out) const;
+
+  /// Single-mask convenience (scored inline, still counted in the stats).
+  double ScoreKeepMask(const std::vector<bool>& keep) const;
+
+  const Matcher& matcher() const { return matcher_; }
+
+ private:
+  const Matcher& matcher_;
+  const PairTokenView* view_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EXPLAIN_BATCH_SCORER_H_

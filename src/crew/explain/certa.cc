@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/explain/token_view.h"
 
 namespace crew {
@@ -42,25 +43,37 @@ Result<WordExplanation> CertaExplainer::Explain(const Matcher& matcher,
   }
 
   Rng rng(seed);
-  out.attributions.reserve(view.size());
+  // Substitution draws happen here on the caller thread (preserving the RNG
+  // order of the per-token loop); the perturbed pairs are scored in one
+  // batch, with `owner` recording which token each pair belongs to.
+  std::vector<RecordPair> perturbed;
+  std::vector<int> owner;
   for (int i = 0; i < view.size(); ++i) {
     const TokenRef& ref = view.token(i);
     const auto& pool = attribute_pools_[ref.attribute];
-    double weight = 0.0;
-    if (!pool.empty() && config_.substitutions_per_token > 0) {
-      double sum = 0.0;
-      int used = 0;
-      for (int s = 0; s < config_.substitutions_per_token; ++s) {
-        const std::string& replacement =
-            pool[rng.UniformInt(static_cast<int>(pool.size()))];
-        if (replacement == ref.text) continue;
-        sum += matcher.PredictProba(
-            view.MaterializeWithSubstitution(i, replacement));
-        ++used;
-      }
-      if (used > 0) weight = out.base_score - sum / used;
+    if (pool.empty() || config_.substitutions_per_token <= 0) continue;
+    for (int s = 0; s < config_.substitutions_per_token; ++s) {
+      const std::string& replacement =
+          pool[rng.UniformInt(static_cast<int>(pool.size()))];
+      if (replacement == ref.text) continue;
+      perturbed.push_back(view.MaterializeWithSubstitution(i, replacement));
+      owner.push_back(i);
     }
-    out.attributions.push_back({ref, weight});
+  }
+  const BatchScorer scorer(matcher);
+  std::vector<double> scores;
+  scorer.ScorePairs(perturbed, &scores);
+  std::vector<double> sums(view.size(), 0.0);
+  std::vector<int> used(view.size(), 0);
+  for (size_t k = 0; k < perturbed.size(); ++k) {
+    sums[owner[k]] += scores[k];
+    ++used[owner[k]];
+  }
+  out.attributions.reserve(view.size());
+  for (int i = 0; i < view.size(); ++i) {
+    const double weight =
+        used[i] > 0 ? out.base_score - sums[i] / used[i] : 0.0;
+    out.attributions.push_back({view.token(i), weight});
   }
   out.runtime_ms = timer.ElapsedMillis();
   return out;

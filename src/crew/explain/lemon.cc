@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 
 namespace crew {
@@ -41,6 +42,10 @@ Result<WordExplanation> LemonExplainer::Explain(const Matcher& matcher,
     la::Matrix x(n, f_count);
     la::Vec y(n), w(n);
     std::vector<int> pool = own;
+    // Masks are drawn here on the caller thread, then scored in one batch.
+    std::vector<std::vector<bool>> keeps, injects;
+    keeps.reserve(n);
+    injects.reserve(n);
     for (int s = 0; s < n; ++s) {
       std::vector<bool> keep(view.size(), true);
       std::vector<bool> injected(view.size(), false);
@@ -64,9 +69,13 @@ Result<WordExplanation> LemonExplainer::Explain(const Matcher& matcher,
           static_cast<double>(n_remove) / static_cast<double>(m);
       const double kw = config_.perturbation.kernel_width;
       w[s] = std::exp(-(removed_fraction * removed_fraction) / (kw * kw));
-      y[s] = matcher.PredictProba(
-          view.MaterializeWithInjection(keep, injected));
+      keeps.push_back(std::move(keep));
+      injects.push_back(std::move(injected));
     }
+    const BatchScorer scorer(matcher, view);
+    std::vector<double> scores;
+    scorer.ScoreInjectionMasks(keeps, injects, &scores);
+    for (int s = 0; s < n; ++s) y[s] = scores[s];
     la::RidgeModel model;
     CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
     r2_sum += model.r2;

@@ -22,7 +22,8 @@ Result<WordExplanation> LimeExplainer::Explain(const Matcher& matcher,
   std::vector<int> perturbable(view.size());
   std::iota(perturbable.begin(), perturbable.end(), 0);
   Rng rng(seed);
-  const auto samples = SampleTokenDrops(matcher, view, perturbable,
+  const BatchScorer scorer(matcher, view);
+  const auto samples = SampleTokenDrops(scorer, view, perturbable,
                                         config_.perturbation, rng);
   SurrogateFit fit;
   CREW_RETURN_IF_ERROR(FitKeepMaskSurrogate(samples, perturbable,

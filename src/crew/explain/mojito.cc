@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 
 namespace crew {
@@ -42,6 +43,8 @@ Result<WordExplanation> MojitoExplainer::ExplainDrop(const Matcher& matcher,
   Rng rng(seed);
   std::vector<PerturbationSample> samples;
   samples.reserve(config_.perturbation.num_samples);
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(config_.perturbation.num_samples);
   for (int s = 0; s < config_.perturbation.num_samples; ++s) {
     PerturbationSample sample;
     sample.keep.assign(view.size(), true);
@@ -65,8 +68,14 @@ Result<WordExplanation> MojitoExplainer::ExplainDrop(const Matcher& matcher,
     const double w = config_.perturbation.kernel_width;
     sample.kernel_weight =
         std::exp(-(removed_fraction * removed_fraction) / (w * w));
-    sample.score = matcher.PredictProba(view.Materialize(sample.keep));
+    keeps.push_back(sample.keep);
     samples.push_back(std::move(sample));
+  }
+  const BatchScorer scorer(matcher, view);
+  std::vector<double> batch_scores;
+  scorer.ScoreKeepMasks(keeps, &batch_scores);
+  for (size_t s = 0; s < samples.size(); ++s) {
+    samples[s].score = batch_scores[s];
   }
 
   std::vector<int> perturbable(view.size());
@@ -104,8 +113,11 @@ Result<WordExplanation> MojitoExplainer::ExplainCopy(const Matcher& matcher,
   const int n = config_.perturbation.num_samples;
   la::Matrix x(n, f_count);
   la::Vec y(n), w(n, 1.0);
+  // All copy-op draws happen here on the caller thread; the perturbed pairs
+  // are scored afterwards in one batch.
+  std::vector<RecordPair> perturbed_pairs(n, pair);
   for (int s = 0; s < n; ++s) {
-    RecordPair perturbed = pair;
+    RecordPair& perturbed = perturbed_pairs[s];
     int active = 0;
     for (int f = 0; f < f_count; ++f) {
       // Each copy op active with probability 1/4; at least the marginal
@@ -123,8 +135,11 @@ Result<WordExplanation> MojitoExplainer::ExplainCopy(const Matcher& matcher,
     const double frac = static_cast<double>(active) / f_count;
     const double kw = config_.perturbation.kernel_width;
     w[s] = std::exp(-(frac * frac) / (kw * kw));
-    y[s] = matcher.PredictProba(perturbed);
   }
+  const BatchScorer scorer(matcher);
+  std::vector<double> copy_scores;
+  scorer.ScorePairs(perturbed_pairs, &copy_scores);
+  for (int s = 0; s < n; ++s) y[s] = copy_scores[s];
   la::RidgeModel model;
   CREW_RETURN_IF_ERROR(FitRidge(x, y, w, config_.ridge_lambda, &model));
   out.surrogate_r2 = model.r2;

@@ -8,7 +8,7 @@
 namespace crew {
 
 std::vector<PerturbationSample> SampleTokenDrops(
-    const Matcher& matcher, const PairTokenView& view,
+    const BatchScorer& scorer, const PairTokenView& view,
     const std::vector<int>& perturbable, const PerturbationConfig& config,
     Rng& rng) {
   std::vector<PerturbationSample> samples;
@@ -16,6 +16,9 @@ std::vector<PerturbationSample> SampleTokenDrops(
   if (m == 0 || config.num_samples <= 0) return samples;
   samples.reserve(config.num_samples);
 
+  // Stage 1 (caller thread, owns all RNG draws): generate the keep-masks.
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(config.num_samples);
   std::vector<int> pool = perturbable;
   for (int s = 0; s < config.num_samples; ++s) {
     PerturbationSample sample;
@@ -33,10 +36,23 @@ std::vector<PerturbationSample> SampleTokenDrops(
     sample.kernel_weight = std::exp(-(removed_fraction * removed_fraction) /
                                     (config.kernel_width *
                                      config.kernel_width));
-    sample.score = matcher.PredictProba(view.Materialize(sample.keep));
+    keeps.push_back(sample.keep);
     samples.push_back(std::move(sample));
   }
+
+  // Stage 2: score every mask through the engine (parallel, by-index).
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (size_t s = 0; s < samples.size(); ++s) samples[s].score = scores[s];
   return samples;
+}
+
+std::vector<PerturbationSample> SampleTokenDrops(
+    const Matcher& matcher, const PairTokenView& view,
+    const std::vector<int>& perturbable, const PerturbationConfig& config,
+    Rng& rng) {
+  const BatchScorer scorer(matcher, view);
+  return SampleTokenDrops(scorer, view, perturbable, config, rng);
 }
 
 Status FitKeepMaskSurrogate(const std::vector<PerturbationSample>& samples,

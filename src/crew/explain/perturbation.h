@@ -5,6 +5,7 @@
 
 #include "crew/common/rng.h"
 #include "crew/common/status.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/explain/token_view.h"
 #include "crew/model/matcher.h"
 
@@ -26,9 +27,19 @@ struct PerturbationConfig {
 };
 
 /// Draws LIME-style token-drop perturbations restricted to `perturbable`
-/// (tokens outside it are always kept), scores each materialized pair with
-/// `matcher`, and computes kernel weights. The number of removed tokens per
-/// sample is uniform on [1, |perturbable|], matching lime_text's sampler.
+/// (tokens outside it are always kept), scores the materialized pairs
+/// through the batch scoring engine, and computes kernel weights. The
+/// number of removed tokens per sample is uniform on [1, |perturbable|],
+/// matching lime_text's sampler. All mask generation happens on the caller
+/// thread, so results are bit-identical for any scoring thread count.
+/// `scorer` must wrap the same view passed here.
+std::vector<PerturbationSample> SampleTokenDrops(
+    const BatchScorer& scorer, const PairTokenView& view,
+    const std::vector<int>& perturbable, const PerturbationConfig& config,
+    Rng& rng);
+
+/// Legacy convenience: scores through a throwaway BatchScorer over
+/// `matcher` + `view`.
 std::vector<PerturbationSample> SampleTokenDrops(
     const Matcher& matcher, const PairTokenView& view,
     const std::vector<int>& perturbable, const PerturbationConfig& config,

@@ -4,6 +4,7 @@
 
 #include "crew/common/rng.h"
 #include "crew/common/timer.h"
+#include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 
 namespace crew {
@@ -53,6 +54,11 @@ Result<WordExplanation> KernelShapExplainer::Explain(const Matcher& matcher,
   la::Vec y(rows), w(rows);
   std::vector<int> pool(m);
   for (int i = 0; i < m; ++i) pool[i] = i;
+  // All coalition sampling happens here on the caller thread; the masks are
+  // then scored in one batch (the empty-coalition anchor rides along as the
+  // final mask).
+  std::vector<std::vector<bool>> keeps;
+  keeps.reserve(n + 1);
   for (int r = 0; r < n; ++r) {
     const int s = rng.Categorical(size_weights);
     std::vector<bool> keep(m, false);
@@ -62,13 +68,18 @@ Result<WordExplanation> KernelShapExplainer::Explain(const Matcher& matcher,
       keep[pool[i]] = true;
       x.At(r, pool[i]) = 1.0;
     }
-    y[r] = matcher.PredictProba(view.Materialize(keep));
+    keeps.push_back(std::move(keep));
     w[r] = 1.0;  // kernel already applied through the sampling distribution
   }
+  keeps.emplace_back(m, false);
+  const BatchScorer scorer(matcher, view);
+  std::vector<double> scores;
+  scorer.ScoreKeepMasks(keeps, &scores);
+  for (int r = 0; r < n; ++r) y[r] = scores[r];
   // Anchor rows: empty coalition and full coalition with large weights so
   // the surrogate respects f(empty) and f(x) (SHAP's exact constraints).
   const double anchor_weight = 100.0 * n;
-  y[n] = matcher.PredictProba(view.Materialize(std::vector<bool>(m, false)));
+  y[n] = scores[n];
   w[n] = anchor_weight;
   for (int j = 0; j < m; ++j) x.At(n + 1, j) = 1.0;
   y[n + 1] = out.base_score;

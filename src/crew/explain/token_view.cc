@@ -37,30 +37,52 @@ std::vector<int> PairTokenView::IndicesOnSide(Side side) const {
   return out;
 }
 
+namespace {
+
+// Clears `record`'s attribute strings in place, keeping their heap capacity
+// so repeated materialization through one RecordPair slot never allocates.
+void ResetRecordValues(int attributes, Record* record) {
+  if (static_cast<int>(record->values.size()) != attributes) {
+    record->values.resize(attributes);
+  }
+  for (auto& value : record->values) value.clear();
+}
+
+}  // namespace
+
 RecordPair PairTokenView::Materialize(const std::vector<bool>& keep) const {
-  return MaterializeWithInjection(keep, std::vector<bool>(size(), false));
+  RecordPair out;
+  MaterializeInto(keep, &out);
+  return out;
+}
+
+void PairTokenView::MaterializeInto(const std::vector<bool>& keep,
+                                    RecordPair* out) const {
+  CREW_CHECK(static_cast<int>(keep.size()) == size());
+  out->label = pair_.label;
+  ResetRecordValues(schema_.size(), &out->left);
+  ResetRecordValues(schema_.size(), &out->right);
+  for (int i = 0; i < size(); ++i) {
+    const TokenRef& ref = tokens_[i];
+    if (!keep[i]) continue;
+    std::string& value = out->side(ref.side).values[ref.attribute];
+    if (!value.empty()) value.push_back(' ');
+    value += ref.text;
+  }
 }
 
 RecordPair PairTokenView::MaterializeWithInjection(
     const std::vector<bool>& keep, const std::vector<bool>& inject) const {
-  CREW_CHECK(static_cast<int>(keep.size()) == size());
-  CREW_CHECK(static_cast<int>(inject.size()) == size());
   RecordPair out;
-  out.label = pair_.label;
-  out.left.values.assign(schema_.size(), "");
-  out.right.values.assign(schema_.size(), "");
+  MaterializeWithInjectionInto(keep, inject, &out);
+  return out;
+}
 
-  auto append = [](std::string& value, const std::string& token) {
-    if (!value.empty()) value.push_back(' ');
-    value += token;
-  };
-
-  for (int i = 0; i < size(); ++i) {
-    const TokenRef& ref = tokens_[i];
-    if (keep[i]) {
-      append(out.side(ref.side).values[ref.attribute], ref.text);
-    }
-  }
+void PairTokenView::MaterializeWithInjectionInto(
+    const std::vector<bool>& keep, const std::vector<bool>& inject,
+    RecordPair* out) const {
+  CREW_CHECK(static_cast<int>(inject.size()) == size());
+  MaterializeInto(keep, out);
   // Injections go after the opposite record's own tokens so they read as
   // appended evidence, not as replacing the original value.
   for (int i = 0; i < size(); ++i) {
@@ -68,9 +90,10 @@ RecordPair PairTokenView::MaterializeWithInjection(
     const TokenRef& ref = tokens_[i];
     const Side opposite =
         ref.side == Side::kLeft ? Side::kRight : Side::kLeft;
-    append(out.side(opposite).values[ref.attribute], ref.text);
+    std::string& value = out->side(opposite).values[ref.attribute];
+    if (!value.empty()) value.push_back(' ');
+    value += ref.text;
   }
-  return out;
 }
 
 RecordPair PairTokenView::MaterializeWithSubstitution(

@@ -51,11 +51,22 @@ class PairTokenView {
   /// single spaces (the standard interpretable-text simplification).
   RecordPair Materialize(const std::vector<bool>& keep) const;
 
+  /// Materialize writing into `out`, reusing its attribute-value strings
+  /// (capacity preserved across calls). This is the batch scoring engine's
+  /// hot loop: materializing thousands of keep-masks through one reused
+  /// RecordPair slot performs no per-sample allocation in steady state.
+  void MaterializeInto(const std::vector<bool>& keep, RecordPair* out) const;
+
   /// Like Materialize, additionally appending the text of every unit in
   /// `inject` to the *opposite* record, under the same attribute. This is
   /// the counterfactual-injection operator of Landmark / LEMON.
   RecordPair MaterializeWithInjection(const std::vector<bool>& keep,
                                       const std::vector<bool>& inject) const;
+
+  /// Buffer-reusing form of MaterializeWithInjection (see MaterializeInto).
+  void MaterializeWithInjectionInto(const std::vector<bool>& keep,
+                                    const std::vector<bool>& inject,
+                                    RecordPair* out) const;
 
   /// Rebuilds the pair with unit `index`'s text replaced by `replacement`
   /// (all other units kept verbatim). Used by counterfactual-substitution

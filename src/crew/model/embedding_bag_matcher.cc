@@ -9,16 +9,22 @@
 namespace crew {
 namespace {
 
-la::Vec EncodePair(const Schema& schema, const EmbeddingStore& embeddings,
-                   const Tokenizer& tokenizer, const RecordPair& pair) {
+void EncodePairInto(const Schema& schema, const EmbeddingStore& embeddings,
+                    const Tokenizer& tokenizer, const RecordPair& pair,
+                    EmbeddingBagMatcher::EncodeScratch* scratch, la::Vec* out) {
   const int dim = embeddings.dim();
-  la::Vec x;
+  la::Vec& x = *out;
+  x.clear();
   x.reserve(static_cast<size_t>(schema.size()) * (2 * dim + 2));
+  std::vector<std::string>& left_tokens = scratch->left_tokens;
+  std::vector<std::string>& right_tokens = scratch->right_tokens;
+  la::Vec& l = scratch->left_mean;
+  la::Vec& r = scratch->right_mean;
   for (int a = 0; a < schema.size(); ++a) {
-    const auto left_tokens = tokenizer.Tokenize(pair.left.values[a]);
-    const auto right_tokens = tokenizer.Tokenize(pair.right.values[a]);
-    const la::Vec l = embeddings.MeanVector(left_tokens);
-    const la::Vec r = embeddings.MeanVector(right_tokens);
+    tokenizer.TokenizeInto(pair.left.values[a], &left_tokens);
+    tokenizer.TokenizeInto(pair.right.values[a], &right_tokens);
+    embeddings.MeanVectorInto(left_tokens, &l);
+    embeddings.MeanVectorInto(right_tokens, &r);
     for (int c = 0; c < dim; ++c) x.push_back(std::fabs(l[c] - r[c]));
     for (int c = 0; c < dim; ++c) x.push_back(l[c] * r[c]);
     // Two scalar interactions that sharpen the blurry mean-pooled signal:
@@ -40,6 +46,13 @@ la::Vec EncodePair(const Schema& schema, const EmbeddingStore& embeddings,
     }
     x.push_back(aligned);
   }
+}
+
+la::Vec EncodePair(const Schema& schema, const EmbeddingStore& embeddings,
+                   const Tokenizer& tokenizer, const RecordPair& pair) {
+  EmbeddingBagMatcher::EncodeScratch scratch;
+  la::Vec x;
+  EncodePairInto(schema, embeddings, tokenizer, pair, &scratch, &x);
   return x;
 }
 
@@ -127,6 +140,11 @@ la::Vec EmbeddingBagMatcher::Encode(const RecordPair& pair) const {
   return EncodePair(schema_, *embeddings_, tokenizer_, pair);
 }
 
+void EmbeddingBagMatcher::EncodeInto(const RecordPair& pair,
+                                     EncodeScratch* scratch, la::Vec* x) const {
+  EncodePairInto(schema_, *embeddings_, tokenizer_, pair, scratch, x);
+}
+
 double EmbeddingBagMatcher::Forward(const la::Vec& x) const {
   const int h = w1_.rows();
   const int d = w1_.cols();
@@ -142,6 +160,16 @@ double EmbeddingBagMatcher::Forward(const la::Vec& x) const {
 
 double EmbeddingBagMatcher::PredictProba(const RecordPair& pair) const {
   return Forward(Encode(pair));
+}
+
+void EmbeddingBagMatcher::PredictProbaBatch(const RecordPair* pairs,
+                                            size_t count, double* out) const {
+  EncodeScratch scratch;
+  la::Vec x;
+  for (size_t i = 0; i < count; ++i) {
+    EncodeInto(pairs[i], &scratch, &x);
+    out[i] = Forward(x);
+  }
 }
 
 }  // namespace crew

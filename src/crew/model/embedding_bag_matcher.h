@@ -36,8 +36,17 @@ class EmbeddingBagMatcher : public Matcher {
       const EmbeddingBagConfig& config = EmbeddingBagConfig());
 
   double PredictProba(const RecordPair& pair) const override;
+  using Matcher::PredictProbaBatch;
+  void PredictProbaBatch(const RecordPair* pairs, size_t count,
+                         double* out) const override;
   double threshold() const override { return threshold_; }
   std::string Name() const override { return "embedding_bag"; }
+
+  /// Reusable buffers for EncodeInto (see PairFeaturizer::Scratch).
+  struct EncodeScratch {
+    std::vector<std::string> left_tokens, right_tokens;
+    la::Vec left_mean, right_mean;
+  };
 
  private:
   EmbeddingBagMatcher(Schema schema,
@@ -50,6 +59,8 @@ class EmbeddingBagMatcher : public Matcher {
 
   /// Pair -> interaction vector of size schema.size() * 2 * dim.
   la::Vec Encode(const RecordPair& pair) const;
+  void EncodeInto(const RecordPair& pair, EncodeScratch* scratch,
+                  la::Vec* x) const;
   double Forward(const la::Vec& x) const;
 
   Schema schema_;

@@ -61,17 +61,31 @@ std::vector<std::string> PairFeaturizer::FeatureNames() const {
 }
 
 la::Vec PairFeaturizer::Extract(const RecordPair& pair) const {
+  Scratch scratch;
+  la::Vec features;
+  ExtractInto(pair, &scratch, &features);
+  return features;
+}
+
+void PairFeaturizer::ExtractInto(const RecordPair& pair, Scratch* scratch,
+                                 la::Vec* out) const {
   CREW_CHECK(static_cast<int>(pair.left.values.size()) == schema_.size());
   CREW_CHECK(static_cast<int>(pair.right.values.size()) == schema_.size());
-  la::Vec features;
+  la::Vec& features = *out;
+  features.clear();
   features.reserve(FeatureCount());
 
-  std::vector<std::string> all_left, all_right;
+  std::vector<std::string>& ta = scratch->left_tokens;
+  std::vector<std::string>& tb = scratch->right_tokens;
+  std::vector<std::string>& all_left = scratch->all_left;
+  std::vector<std::string>& all_right = scratch->all_right;
+  all_left.clear();
+  all_right.clear();
   for (int a = 0; a < schema_.size(); ++a) {
     const std::string& va = pair.left.values[a];
     const std::string& vb = pair.right.values[a];
-    const auto ta = tokenizer_.Tokenize(va);
-    const auto tb = tokenizer_.Tokenize(vb);
+    tokenizer_.TokenizeInto(va, &ta);
+    tokenizer_.TokenizeInto(vb, &tb);
     all_left.insert(all_left.end(), ta.begin(), ta.end());
     all_right.insert(all_right.end(), tb.begin(), tb.end());
 
@@ -79,8 +93,9 @@ la::Vec PairFeaturizer::Extract(const RecordPair& pair) const {
     features.push_back(OverlapCoefficient(ta, tb));
     features.push_back(MongeElkanSimilarity(ta, tb));
     if (embeddings_ != nullptr) {
-      features.push_back(la::Cosine(embeddings_->MeanVector(ta),
-                                    embeddings_->MeanVector(tb)));
+      embeddings_->MeanVectorInto(ta, &scratch->mean_left);
+      embeddings_->MeanVectorInto(tb, &scratch->mean_right);
+      features.push_back(la::Cosine(scratch->mean_left, scratch->mean_right));
     } else {
       features.push_back(0.0);
     }
@@ -94,7 +109,6 @@ la::Vec PairFeaturizer::Extract(const RecordPair& pair) const {
   const double lb = static_cast<double>(all_right.size()) + 1.0;
   features.push_back(std::log(la / lb));
   CREW_DCHECK(static_cast<int>(features.size()) == FeatureCount());
-  return features;
 }
 
 void FeatureScaler::Fit(const std::vector<la::Vec>& rows) {
@@ -120,13 +134,17 @@ void FeatureScaler::Fit(const std::vector<la::Vec>& rows) {
 }
 
 la::Vec FeatureScaler::Transform(const la::Vec& row) const {
-  CREW_CHECK(fitted());
-  CREW_CHECK(row.size() == mean_.size());
-  la::Vec out(row.size());
-  for (size_t i = 0; i < row.size(); ++i) {
-    out[i] = (row[i] - mean_[i]) * inv_std_[i];
-  }
+  la::Vec out = row;
+  TransformInPlace(&out);
   return out;
+}
+
+void FeatureScaler::TransformInPlace(la::Vec* row) const {
+  CREW_CHECK(fitted());
+  CREW_CHECK(row->size() == mean_.size());
+  for (size_t i = 0; i < row->size(); ++i) {
+    (*row)[i] = ((*row)[i] - mean_[i]) * inv_std_[i];
+  }
 }
 
 }  // namespace crew

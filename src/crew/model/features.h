@@ -24,6 +24,15 @@ namespace crew {
 /// explainers rely on.
 class PairFeaturizer {
  public:
+  /// Reusable buffers for ExtractInto. One scratch per thread/batch; the
+  /// hot loop of the batch scoring engine keeps a single instance alive so
+  /// per-pair extraction performs no vector allocations in steady state.
+  struct Scratch {
+    std::vector<std::string> left_tokens, right_tokens;
+    std::vector<std::string> all_left, all_right;
+    la::Vec mean_left, mean_right;
+  };
+
   /// `embeddings` may be null; embedding-cosine features are then 0.
   PairFeaturizer(Schema schema,
                  std::shared_ptr<const EmbeddingStore> embeddings,
@@ -33,6 +42,11 @@ class PairFeaturizer {
   std::vector<std::string> FeatureNames() const;
 
   la::Vec Extract(const RecordPair& pair) const;
+
+  /// Extract writing into `out` (resized to FeatureCount()) with all
+  /// intermediate buffers drawn from `scratch`. Bit-identical to Extract.
+  void ExtractInto(const RecordPair& pair, Scratch* scratch,
+                   la::Vec* out) const;
 
   const Schema& schema() const { return schema_; }
 
@@ -51,6 +65,8 @@ class FeatureScaler {
  public:
   void Fit(const std::vector<la::Vec>& rows);
   la::Vec Transform(const la::Vec& row) const;
+  /// Standardizes `row` in place (batch scoring hot loop; no allocation).
+  void TransformInPlace(la::Vec* row) const;
   bool fitted() const { return !mean_.empty(); }
 
  private:

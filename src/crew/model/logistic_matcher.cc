@@ -59,4 +59,15 @@ double LogisticMatcher::PredictProba(const RecordPair& pair) const {
   return la::Sigmoid(la::Dot(weights_, x) + bias_);
 }
 
+void LogisticMatcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
+                                        double* out) const {
+  PairFeaturizer::Scratch scratch;
+  la::Vec x;
+  for (size_t i = 0; i < count; ++i) {
+    featurizer_.ExtractInto(pairs[i], &scratch, &x);
+    scaler_.TransformInPlace(&x);
+    out[i] = la::Sigmoid(la::Dot(weights_, x) + bias_);
+  }
+}
+
 }  // namespace crew

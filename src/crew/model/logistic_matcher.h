@@ -27,6 +27,9 @@ class LogisticMatcher : public Matcher {
       const LogisticConfig& config = LogisticConfig());
 
   double PredictProba(const RecordPair& pair) const override;
+  using Matcher::PredictProbaBatch;
+  void PredictProbaBatch(const RecordPair* pairs, size_t count,
+                         double* out) const override;
   double threshold() const override { return threshold_; }
   std::string Name() const override { return "logistic"; }
 

@@ -1,0 +1,16 @@
+#include "crew/model/matcher.h"
+
+namespace crew {
+
+void Matcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
+                                double* out) const {
+  for (size_t i = 0; i < count; ++i) out[i] = PredictProba(pairs[i]);
+}
+
+void Matcher::PredictProbaBatch(const std::vector<RecordPair>& pairs,
+                                std::vector<double>* out) const {
+  out->resize(pairs.size());
+  PredictProbaBatch(pairs.data(), pairs.size(), out->data());
+}
+
+}  // namespace crew

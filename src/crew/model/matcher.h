@@ -1,7 +1,9 @@
 #ifndef CREW_MODEL_MATCHER_H_
 #define CREW_MODEL_MATCHER_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "crew/data/record.h"
 
@@ -10,14 +12,28 @@ namespace crew {
 /// Black-box EM classifier interface.
 ///
 /// This is the *entire* surface explainers are allowed to touch — they may
-/// call PredictProba on arbitrary (perturbed) record pairs and nothing else,
-/// exactly as post-hoc explainers treat a deployed BERT matcher.
+/// call PredictProba (or its batch form) on arbitrary (perturbed) record
+/// pairs and nothing else, exactly as post-hoc explainers treat a deployed
+/// BERT matcher.
 class Matcher {
  public:
   virtual ~Matcher() = default;
 
   /// Probability in [0, 1] that the pair refers to the same entity.
   virtual double PredictProba(const RecordPair& pair) const = 0;
+
+  /// Scores pairs[0..count) into out[0..count); out[i] is bit-identical to
+  /// PredictProba(pairs[i]). The default loops over PredictProba; matchers
+  /// override it to hoist per-pair setup (feature buffers, tokenization,
+  /// embedding lookups) out of the inner loop so steady-state scoring does
+  /// no per-sample allocation. Overrides must be const-thread-safe: the
+  /// batch scoring engine invokes them concurrently on disjoint ranges.
+  virtual void PredictProbaBatch(const RecordPair* pairs, size_t count,
+                                 double* out) const;
+
+  /// Convenience vector form; resizes `out` to pairs.size().
+  void PredictProbaBatch(const std::vector<RecordPair>& pairs,
+                         std::vector<double>* out) const;
 
   /// Decision threshold calibrated at training time.
   virtual double threshold() const { return 0.5; }

@@ -113,4 +113,15 @@ double MlpMatcher::PredictProba(const RecordPair& pair) const {
   return Forward(scaler_.Transform(featurizer_.Extract(pair)));
 }
 
+void MlpMatcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
+                                   double* out) const {
+  PairFeaturizer::Scratch scratch;
+  la::Vec x;
+  for (size_t i = 0; i < count; ++i) {
+    featurizer_.ExtractInto(pairs[i], &scratch, &x);
+    scaler_.TransformInPlace(&x);
+    out[i] = Forward(x);
+  }
+}
+
 }  // namespace crew

@@ -29,6 +29,9 @@ class MlpMatcher : public Matcher {
       const MlpConfig& config = MlpConfig());
 
   double PredictProba(const RecordPair& pair) const override;
+  using Matcher::PredictProbaBatch;
+  void PredictProbaBatch(const RecordPair* pairs, size_t count,
+                         double* out) const override;
   double threshold() const override { return threshold_; }
   std::string Name() const override { return "mlp"; }
 

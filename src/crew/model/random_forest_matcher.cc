@@ -174,4 +174,14 @@ double RandomForestMatcher::PredictProba(const RecordPair& pair) const {
   return PredictFeatures(featurizer_.Extract(pair));
 }
 
+void RandomForestMatcher::PredictProbaBatch(const RecordPair* pairs,
+                                            size_t count, double* out) const {
+  PairFeaturizer::Scratch scratch;
+  la::Vec x;
+  for (size_t i = 0; i < count; ++i) {
+    featurizer_.ExtractInto(pairs[i], &scratch, &x);
+    out[i] = PredictFeatures(x);
+  }
+}
+
 }  // namespace crew

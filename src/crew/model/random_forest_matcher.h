@@ -31,6 +31,9 @@ class RandomForestMatcher : public Matcher {
       const RandomForestConfig& config = RandomForestConfig());
 
   double PredictProba(const RecordPair& pair) const override;
+  using Matcher::PredictProbaBatch;
+  void PredictProbaBatch(const RecordPair* pairs, size_t count,
+                         double* out) const override;
   double threshold() const override { return threshold_; }
   std::string Name() const override { return "random_forest"; }
 

@@ -6,33 +6,46 @@ namespace crew {
 
 std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
   std::vector<std::string> tokens;
-  std::string current;
+  TokenizeInto(text, &tokens);
+  return tokens;
+}
+
+void Tokenizer::TokenizeInto(std::string_view text,
+                             std::vector<std::string>* tokens) const {
+  size_t count = 0;
+  std::string* current = nullptr;  // the in-progress slot, if any
   auto flush = [&] {
-    if (current.empty()) return;
-    if (static_cast<int>(current.size()) >= options_.min_token_length) {
+    if (current == nullptr) return;
+    bool keep = static_cast<int>(current->size()) >= options_.min_token_length;
+    if (keep && !options_.keep_numbers) {
       bool all_digits = true;
-      for (char c : current) {
+      for (char c : *current) {
         if (!std::isdigit(static_cast<unsigned char>(c))) {
           all_digits = false;
           break;
         }
       }
-      if (options_.keep_numbers || !all_digits) tokens.push_back(current);
+      keep = !all_digits;
     }
-    current.clear();
+    if (keep) ++count;  // otherwise the slot is rewritten by the next token
+    current = nullptr;
   };
   for (char ch : text) {
     unsigned char c = static_cast<unsigned char>(ch);
     if (std::isalnum(c)) {
-      current.push_back(options_.lowercase
-                            ? static_cast<char>(std::tolower(c))
-                            : ch);
+      if (current == nullptr) {
+        if (count == tokens->size()) tokens->emplace_back();
+        current = &(*tokens)[count];
+        current->clear();
+      }
+      current->push_back(options_.lowercase ? static_cast<char>(std::tolower(c))
+                                            : ch);
     } else {
       flush();
     }
   }
   flush();
-  return tokens;
+  tokens->resize(count);
 }
 
 }  // namespace crew

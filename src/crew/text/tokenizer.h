@@ -28,6 +28,12 @@ class Tokenizer {
 
   std::vector<std::string> Tokenize(std::string_view text) const;
 
+  /// Tokenizes into `tokens`, reusing its element strings and capacity so
+  /// repeated calls (batch scoring hot loops) allocate nothing in steady
+  /// state. Produces exactly the same tokens as Tokenize.
+  void TokenizeInto(std::string_view text,
+                    std::vector<std::string>* tokens) const;
+
   const TokenizerOptions& options() const { return options_; }
 
  private:

@@ -1,0 +1,114 @@
+#include "crew/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace crew {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.size(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> done{0};
+  const int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  // The destructor must drain the queue, but give the workers a fair
+  // window first so the test also exercises the steady-state path.
+  for (int spin = 0; spin < 200 && done.load() < kTasks; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (int n : {0, 1, 3, 4, 5, 64, 1000}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(&pool, n, [&hits](int begin, int end) {
+      // Ceil-division chunking must never produce an empty range (n=5 on a
+      // 4-thread pool once did: per_chunk=2 left a [6, 5) tail chunk).
+      EXPECT_LT(begin, end);
+      for (int i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineOnCallerThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> hits(37, 0);
+  int calls = 0;
+  ParallelFor(nullptr, 37, [&](int begin, int end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+    for (int i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(calls, 1);  // single chunk fn(0, n)
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 37);
+}
+
+TEST(ParallelForTest, ChunkingIsDeterministic) {
+  // Chunk boundaries must be a pure function of (n, pool size): two runs
+  // over the same pool record identical (begin, end) sets.
+  ThreadPool pool(3);
+  const int n = 100;
+  auto collect = [&] {
+    std::mutex mu;
+    std::vector<std::pair<int, int>> chunks;
+    ParallelFor(&pool, n, [&](int begin, int end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.push_back({begin, end});
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(ScoringThreadsTest, ResolvesZeroToHardware) {
+  SetScoringThreads(0);
+  EXPECT_EQ(ScoringThreads(), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1);
+  SetScoringThreads(0);
+}
+
+TEST(ScoringThreadsTest, SharedPoolFollowsSetting) {
+  SetScoringThreads(1);
+  EXPECT_EQ(ScoringThreads(), 1);
+  EXPECT_EQ(SharedScoringPool(), nullptr);  // 1 = inline legacy path
+
+  SetScoringThreads(4);
+  EXPECT_EQ(ScoringThreads(), 4);
+  ThreadPool* pool = SharedScoringPool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->size(), 4);
+  // Stable across calls while the setting is unchanged.
+  EXPECT_EQ(SharedScoringPool(), pool);
+
+  SetScoringThreads(2);
+  ThreadPool* rebuilt = SharedScoringPool();
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->size(), 2);
+
+  SetScoringThreads(0);  // restore the default for other tests
+}
+
+}  // namespace
+}  // namespace crew
