@@ -5,7 +5,6 @@
 // averaged over instances and datasets.
 
 #include <cstdio>
-#include <map>
 
 #include "bench_util.h"
 
@@ -18,48 +17,24 @@ int main(int argc, char** argv) {
       "units removed) ==\nmatcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  std::map<std::string, std::vector<double>> sums;
-  std::map<std::string, int> counts;
-  crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto explained = crew::ExplainAsUnits(
-            *explainer, *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(explained.status());
-        if (explained->second.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            explained->second, explained->first.base_score,
-            prepared.pipeline.matcher->threshold()};
-        const auto curve = crew::DeletionCurve(
-            *prepared.pipeline.matcher, instance, fractions);
-        auto& sum = sums[explainer->Name()];
-        if (sum.empty()) sum.assign(fractions.size(), 0.0);
-        for (size_t i = 0; i < curve.size(); ++i) sum[i] += curve[i];
-        ++counts[explainer->Name()];
-      }
-    }
-  }
+  auto spec = crew::bench::SpecFromOptions("f1_deletion_curve", options);
+  spec.eval.curve_fractions = fractions;
+  crew::ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
 
   std::vector<std::string> header = {"explainer"};
   for (double f : fractions) header.push_back(crew::Table::Num(f, 1));
   crew::Table table(header);
-  for (const auto& [name, sum] : sums) {
+  for (const std::string& name : result->VariantNames()) {
+    const std::vector<double> curve = result->MeanCurve(name);
+    if (curve.empty()) continue;
     std::vector<std::string> row = {name};
-    for (double v : sum) {
-      row.push_back(crew::Table::Num(v / counts[name]));
-    }
-    table.AddRow(row);
+    for (double v : curve) row.push_back(crew::Table::Num(v));
+    table.AddRow(std::move(row));
   }
   std::printf("%s\n", table.ToAligned().c_str());
   std::printf("(columns are the fraction of explanation units deleted)\n");
+  crew::bench::EmitJsonIfRequested(*result, options);
   return 0;
 }

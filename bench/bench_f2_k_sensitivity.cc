@@ -16,64 +16,39 @@ int main(int argc, char** argv) {
       "matcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table(
-      {"dataset", "k", "aopc", "coherence", "silhouette", "eff_units"});
-  crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
+  auto spec = crew::bench::SpecFromOptions("f2_k_sensitivity", options);
+  spec.suite = [samples = options.samples](
+                   const crew::TrainedPipeline& pipeline) {
+    std::vector<crew::SuiteEntry> suite;
     for (int k = 2; k <= 12; k += 2) {
       crew::CrewConfig config;
-      config.importance.perturbation.num_samples = options.samples;
+      config.importance.perturbation.num_samples = samples;
       config.auto_k = false;
       config.min_clusters = k;
       config.max_clusters = k;
-      crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
-      double aopc = 0.0, coherence = 0.0, silhouette = 0.0, eff = 0.0;
-      int n = 0;
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto e = explainer.ExplainClusters(
-            *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(e.status());
-        if (e->units.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            e->units, e->words.base_score,
-            prepared.pipeline.matcher->threshold()};
-        aopc += crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
-        coherence += e->coherence;
-        silhouette += e->silhouette;
-        const auto comp = crew::EvaluateComprehensibility(
-            e->words, e->units, prepared.pipeline.embeddings.get());
-        eff += comp.effective_units;
-        ++n;
-      }
-      if (n == 0) continue;
-      table.AddRow({prepared.name, std::to_string(k),
-                    crew::Table::Num(aopc / n),
-                    crew::Table::Num(coherence / n),
-                    crew::Table::Num(silhouette / n),
-                    crew::Table::Num(eff / n, 1)});
+      suite.push_back({"k=" + std::to_string(k),
+                       std::make_unique<crew::CrewExplainer>(
+                           pipeline.embeddings, config)});
     }
-    // What auto-K chooses on this dataset, for reference.
     crew::CrewConfig auto_config;
-    auto_config.importance.perturbation.num_samples = options.samples;
-    crew::CrewExplainer auto_explainer(prepared.pipeline.embeddings,
-                                       auto_config);
-    double mean_k = 0.0;
-    int n = 0;
-    for (int idx : prepared.instances) {
-      auto e = auto_explainer.ExplainClusters(
-          *prepared.pipeline.matcher, prepared.pipeline.test.pair(idx),
-          options.seed);
-      crew::bench::DieIfError(e.status());
-      mean_k += e->chosen_k;
-      ++n;
-    }
-    std::printf("%s: silhouette auto-K mean = %.1f\n", prepared.name.c_str(),
-                n > 0 ? mean_k / n : 0.0);
-  }
-  std::printf("\n%s\n", table.ToAligned().c_str());
+    auto_config.importance.perturbation.num_samples = samples;
+    suite.push_back({"auto-K", std::make_unique<crew::CrewExplainer>(
+                                   pipeline.embeddings, auto_config)});
+    return suite;
+  };
+  crew::ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),
+       crew::AggColumn("coherence",
+                       &crew::ExplainerAggregate::cluster_coherence),
+       crew::AggColumn("silhouette",
+                       &crew::ExplainerAggregate::cluster_silhouette),
+       crew::AggColumn("eff_units",
+                       &crew::ExplainerAggregate::effective_units, 1),
+       crew::AggColumn("mean_k", &crew::ExplainerAggregate::mean_chosen_k, 1)});
   return 0;
 }

@@ -9,73 +9,65 @@
 
 #include "bench_util.h"
 
-namespace {
-
-struct AblationCase {
-  const char* name;
-  crew::AffinityWeights weights;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto options = crew::bench::BenchOptions::Parse(argc, argv);
-  const AblationCase cases[] = {
-      {"sem", {1, 0, 0}},          {"attr", {0, 1, 0}},
-      {"imp", {0, 0, 1}},          {"sem+attr", {1, 1, 0}},
-      {"sem+imp", {1, 0, 1}},      {"attr+imp", {0, 1, 1}},
-      {"sem+attr+imp", {1, 1, 1}},
-  };
   std::printf(
       "== F3: ablation of CREW's knowledge sources ==\n"
       "matcher=%s samples=%d instances/dataset=%d (averaged over datasets)\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table({"knowledge", "aopc", "compr@1", "coherence",
-                     "attr_purity", "eff_units"});
-  crew::Tokenizer tokenizer;
-  // Train each dataset's pipeline once; the ablations only change CREW.
-  std::vector<crew::bench::PreparedDataset> prepared_all;
-  for (const auto& entry : options.Datasets()) {
-    prepared_all.push_back(crew::bench::Prepare(entry, options));
-  }
-  for (const auto& ablation : cases) {
-    double aopc = 0.0, compr1 = 0.0, coherence = 0.0, purity = 0.0, eff = 0.0;
-    int n = 0;
-    for (const auto& prepared : prepared_all) {
+  struct AblationCase {
+    const char* name;
+    crew::AffinityWeights weights;
+  };
+  static const AblationCase kCases[] = {
+      {"sem", {1, 0, 0}},          {"attr", {0, 1, 0}},
+      {"imp", {0, 0, 1}},          {"sem+attr", {1, 1, 0}},
+      {"sem+imp", {1, 0, 1}},      {"attr+imp", {0, 1, 1}},
+      {"sem+attr+imp", {1, 1, 1}},
+  };
+
+  auto spec = crew::bench::SpecFromOptions("f3_ablation", options);
+  spec.suite = [samples = options.samples](
+                   const crew::TrainedPipeline& pipeline) {
+    std::vector<crew::SuiteEntry> suite;
+    for (const AblationCase& ablation : kCases) {
       crew::CrewConfig config;
-      config.importance.perturbation.num_samples = options.samples;
+      config.importance.perturbation.num_samples = samples;
       config.affinity = ablation.weights;
-      crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto e = explainer.ExplainClusters(
-            *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(e.status());
-        if (e->units.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            e->units, e->words.base_score,
-            prepared.pipeline.matcher->threshold()};
-        aopc += crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
-        compr1 += crew::ComprehensivenessAtK(*prepared.pipeline.matcher,
-                                             instance, 1);
-        coherence += e->coherence;
-        const auto comp = crew::EvaluateComprehensibility(
-            e->words, e->units, prepared.pipeline.embeddings.get());
-        purity += comp.attribute_purity;
-        eff += comp.effective_units;
-        ++n;
-      }
+      suite.push_back({ablation.name, std::make_unique<crew::CrewExplainer>(
+                                          pipeline.embeddings, config)});
     }
-    if (n == 0) continue;
-    table.AddRow({ablation.name, crew::Table::Num(aopc / n),
-                  crew::Table::Num(compr1 / n),
-                  crew::Table::Num(coherence / n),
-                  crew::Table::Num(purity / n, 2),
-                  crew::Table::Num(eff / n, 1)});
+    return suite;
+  };
+  crew::ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  // Cross-dataset summary (the historical table shape): one row per
+  // knowledge combination, averaged over every dataset's instances.
+  crew::ExperimentResult summary;
+  summary.name = result->name;
+  summary.params = result->params;
+  for (const std::string& name : result->VariantNames()) {
+    crew::ExperimentCell cell;
+    cell.dataset = "all";
+    cell.variant = name;
+    cell.aggregate = result->ReduceAcross(name);
+    summary.cells.push_back(std::move(cell));
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::TableSink table(
+      {crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),
+       crew::AggColumn("compr@1",
+                       &crew::ExplainerAggregate::comprehensiveness_at_1),
+       crew::AggColumn("coherence",
+                       &crew::ExplainerAggregate::cluster_coherence),
+       crew::AggColumn("attr_purity",
+                       &crew::ExplainerAggregate::attribute_purity, 2),
+       crew::AggColumn("eff_units",
+                       &crew::ExplainerAggregate::effective_units, 1)},
+      /*dataset_column=*/false, /*variant_column=*/true);
+  crew::bench::DieIfError(table.Consume(summary));
+  crew::bench::EmitJsonIfRequested(*result, options);
   return 0;
 }

@@ -2,15 +2,15 @@
 //
 // Every perturbation explainer is linear in the sample budget (each sample
 // is one matcher call); CERTA is linear in tokens x substitutions. The
-// bench sweeps the budget and reports mean milliseconds per explanation,
-// plus the batch scoring engine's per-stage counters (predictions issued,
-// batches dispatched, time spent materializing vs predicting).
+// bench sweeps the budget over one prepared pipeline (training once) and
+// reports mean milliseconds per explanation, plus the batch scoring
+// engine's per-cell counters (predictions issued, batches dispatched, time
+// spent materializing vs predicting) that the runner attributes to every
+// cell.
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "crew/common/timer.h"
-#include "crew/explain/batch_scorer.h"
 
 int main(int argc, char** argv) {
   auto options = crew::bench::BenchOptions::Parse(argc, argv);
@@ -23,52 +23,57 @@ int main(int argc, char** argv) {
       options.matcher.c_str(), options.dataset.c_str(), options.instances,
       options.threads, crew::HardwareThreads());
 
-  const auto entries = options.Datasets();
-  const auto prepared = crew::bench::Prepare(entries[0], options);
+  auto base_spec = crew::bench::SpecFromOptions("f4_runtime", options);
+  auto prepared = crew::PrepareDataset(base_spec.datasets[0], base_spec);
+  crew::bench::DieIfError(prepared.status());
+  std::vector<crew::PreparedDataset> prepared_all;
+  prepared_all.push_back(std::move(prepared.value()));
 
-  crew::Table table(
-      {"samples", "explainer", "ms/explanation", "preds", "batches",
-       "mat-ms", "pred-ms"});
-  crew::ResetScoringStats();
-  crew::ScoringStats cumulative;
+  crew::ExperimentResult result;
+  result.name = base_spec.name;
   for (int samples : {32, 64, 128, 256, 512, 1024}) {
-    crew::ExplainerSuiteConfig config;
-    config.num_samples = samples;
-    config.include_random = false;
-    const auto suite = crew::BuildExplainerSuite(
-        prepared.pipeline.embeddings, prepared.pipeline.train, config);
-    for (const auto& explainer : suite) {
-      crew::ResetScoringStats();
-      crew::WallTimer timer;
-      int n = 0;
-      for (int idx : prepared.instances) {
-        auto e = explainer->Explain(*prepared.pipeline.matcher,
-                                    prepared.pipeline.test.pair(idx),
-                                    options.seed + idx);
-        crew::bench::DieIfError(e.status());
-        ++n;
-      }
-      const crew::ScoringStats stats = crew::GlobalScoringStats();
-      cumulative.predictions += stats.predictions;
-      cumulative.batches += stats.batches;
-      cumulative.materialize_ms += stats.materialize_ms;
-      cumulative.predict_ms += stats.predict_ms;
-      table.AddRow({std::to_string(samples), explainer->Name(),
-                    crew::Table::Num(timer.ElapsedMillis() / n, 2),
-                    std::to_string(stats.predictions),
-                    std::to_string(stats.batches),
-                    crew::Table::Num(stats.materialize_ms, 1),
-                    crew::Table::Num(stats.predict_ms, 1)});
+    auto spec = base_spec;
+    spec.suite = [samples](const crew::TrainedPipeline& pipeline) {
+      crew::ExplainerSuiteConfig config;
+      config.num_samples = samples;
+      config.include_random = false;
+      return crew::NameSuite(crew::BuildExplainerSuite(
+          pipeline.embeddings, pipeline.train, config));
+    };
+    crew::ExperimentRunner runner(std::move(spec));
+    auto swept = runner.RunPrepared(prepared_all);
+    crew::bench::DieIfError(swept.status());
+    if (result.params.empty()) result.params = swept->params;
+    for (auto& cell : swept->cells) {
+      cell.metrics.push_back({"samples", static_cast<double>(samples)});
+      result.cells.push_back(std::move(cell));
     }
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+
+  crew::bench::EmitExperiment(
+      result, options,
+      {crew::MetricColumn("samples", "samples", 0),
+       crew::AggColumn("ms/explanation",
+                       &crew::ExplainerAggregate::runtime_ms, 2),
+       {"preds",
+        [](const crew::ExperimentCell& cell) {
+          return std::to_string(cell.scoring.predictions);
+        }},
+       {"batches",
+        [](const crew::ExperimentCell& cell) {
+          return std::to_string(cell.scoring.batches);
+        }},
+       {"mat-ms",
+        [](const crew::ExperimentCell& cell) {
+          return crew::Table::Num(cell.scoring.materialize_ms, 1);
+        }},
+       {"pred-ms",
+        [](const crew::ExperimentCell& cell) {
+          return crew::Table::Num(cell.scoring.predict_ms, 1);
+        }}},
+      /*dataset_column=*/false, /*variant_column=*/true);
   std::printf(
-      "engine totals: %lld predictions in %lld batches | materialize %.1f ms"
-      " | predict %.1f ms (summed across scoring threads)\n",
-      static_cast<long long>(cumulative.predictions),
-      static_cast<long long>(cumulative.batches), cumulative.materialize_ms,
-      cumulative.predict_ms);
-  std::printf(
-      "(CERTA's cost is per-token, not per-sample, so its column is flat)\n");
+      "(ms/explanation is the explainer's self-reported runtime; scoring "
+      "columns include the evaluation metrics' matcher calls)\n");
   return 0;
 }

@@ -17,46 +17,28 @@ int main(int argc, char** argv) {
       "matcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("f5_match_vs_nonmatch", options));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  // The split is a filtered re-reduction of the per-instance records the
+  // runner already collected — no second evaluation pass.
   crew::Table table(
       {"dataset", "explainer", "aopc(match)", "aopc(nonmatch)"});
-  crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      double aopc_match = 0.0, aopc_nonmatch = 0.0;
-      int n_match = 0, n_nonmatch = 0;
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto explained = crew::ExplainAsUnits(
-            *explainer, *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(explained.status());
-        if (explained->second.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            explained->second, explained->first.base_score,
-            prepared.pipeline.matcher->threshold()};
-        const double aopc =
-            crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
-        if (instance.PredictedMatch()) {
-          aopc_match += aopc;
-          ++n_match;
-        } else {
-          aopc_nonmatch += aopc;
-          ++n_nonmatch;
-        }
-      }
-      table.AddRow(
-          {prepared.name, explainer->Name(),
-           n_match > 0 ? crew::Table::Num(aopc_match / n_match) : "n/a",
-           n_nonmatch > 0 ? crew::Table::Num(aopc_nonmatch / n_nonmatch)
-                          : "n/a"});
-    }
+  for (const crew::ExperimentCell& cell : result->cells) {
+    const auto match = crew::ReduceInstancesIf(
+        cell.variant, cell.instances,
+        [](const crew::InstanceEvaluation& r) { return r.predicted_match; });
+    const auto nonmatch = crew::ReduceInstancesIf(
+        cell.variant, cell.instances,
+        [](const crew::InstanceEvaluation& r) { return !r.predicted_match; });
+    table.AddRow({cell.dataset, cell.variant,
+                  match.instances > 0 ? crew::Table::Num(match.aopc) : "n/a",
+                  nonmatch.instances > 0 ? crew::Table::Num(nonmatch.aopc)
+                                         : "n/a"});
   }
   std::printf("%s\n", table.ToAligned().c_str());
+  crew::bench::EmitJsonIfRequested(*result, options);
   return 0;
 }

@@ -6,7 +6,6 @@
 // out).
 
 #include <cstdio>
-#include <map>
 
 #include "bench_util.h"
 
@@ -18,52 +17,35 @@ int main(int argc, char** argv) {
       "datasets)\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  struct Acc {
-    double units = 0.0, tokens = 0.0, flips = 0.0;
-    int n = 0;
-  };
-  std::map<std::string, Acc> by_explainer;
-  crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto explained = crew::ExplainAsUnits(
-            *explainer, *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(explained.status());
-        if (explained->second.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            explained->second, explained->first.base_score,
-            prepared.pipeline.matcher->threshold()};
-        const auto flip =
-            crew::MinimalFlipSet(*prepared.pipeline.matcher, instance);
-        Acc& acc = by_explainer[explainer->Name()];
-        if (flip.flipped) {
-          acc.units += flip.units_removed;
-          acc.tokens += flip.tokens_removed;
-          acc.flips += 1.0;
-        }
-        ++acc.n;
-      }
-    }
-  }
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("f6_flipset", options));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
 
-  crew::Table table({"explainer", "flip%", "units-to-flip",
-                     "words-to-flip"});
-  for (const auto& [name, acc] : by_explainer) {
-    const double flips = acc.flips > 0 ? acc.flips : 1.0;
-    table.AddRow({name, crew::Table::Num(100.0 * acc.flips / acc.n, 1),
-                  crew::Table::Num(acc.units / flips, 2),
-                  crew::Table::Num(acc.tokens / flips, 2)});
+  // Cross-dataset summary: flip stats are part of every per-instance
+  // record, so this is a pure re-reduction.
+  crew::ExperimentResult summary;
+  summary.name = result->name;
+  summary.params = result->params;
+  for (const std::string& name : result->VariantNames()) {
+    crew::ExperimentCell cell;
+    cell.dataset = "all";
+    cell.variant = name;
+    cell.aggregate = result->ReduceAcross(name);
+    summary.cells.push_back(std::move(cell));
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::TableSink table(
+      {{"flip%",
+        [](const crew::ExperimentCell& cell) {
+          return crew::Table::Num(100.0 * cell.aggregate.flip_set_rate, 1);
+        }},
+       crew::AggColumn("units-to-flip",
+                       &crew::ExplainerAggregate::flip_set_units, 2),
+       crew::AggColumn("words-to-flip",
+                       &crew::ExplainerAggregate::flip_set_tokens, 2)},
+      /*dataset_column=*/false, /*variant_column=*/true);
+  crew::bench::DieIfError(table.Consume(summary));
   std::printf("(units/words averaged over flipped instances only)\n");
+  crew::bench::EmitJsonIfRequested(*result, options);
   return 0;
 }

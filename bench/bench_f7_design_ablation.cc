@@ -10,74 +10,66 @@
 
 #include "bench_util.h"
 
-namespace {
-
-struct DesignCase {
-  const char* name;
-  crew::Linkage linkage;
-  bool auto_k;
-  bool rescore;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto options = crew::bench::BenchOptions::Parse(argc, argv);
-  const DesignCase cases[] = {
-      {"default (avg, auto-K, rescore)", crew::Linkage::kAverage, true, true},
-      {"single linkage", crew::Linkage::kSingle, true, true},
-      {"complete linkage", crew::Linkage::kComplete, true, true},
-      {"no rescoring (sum weights)", crew::Linkage::kAverage, true, false},
-      {"fixed K = max", crew::Linkage::kAverage, false, true},
-  };
   std::printf(
       "== F7: ablation of CREW design choices ==\n"
       "matcher=%s samples=%d instances/dataset=%d (averaged over "
       "datasets)\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  std::vector<crew::bench::PreparedDataset> prepared_all;
-  for (const auto& entry : options.Datasets()) {
-    prepared_all.push_back(crew::bench::Prepare(entry, options));
-  }
+  struct DesignCase {
+    const char* name;
+    crew::Linkage linkage;
+    bool auto_k;
+    bool rescore;
+  };
+  static const DesignCase kCases[] = {
+      {"default (avg, auto-K, rescore)", crew::Linkage::kAverage, true, true},
+      {"single linkage", crew::Linkage::kSingle, true, true},
+      {"complete linkage", crew::Linkage::kComplete, true, true},
+      {"no rescoring (sum weights)", crew::Linkage::kAverage, true, false},
+      {"fixed K = max", crew::Linkage::kAverage, false, true},
+  };
 
-  crew::Table table({"variant", "aopc", "compr@1", "units", "coherence"});
-  crew::Tokenizer tokenizer;
-  for (const auto& design : cases) {
-    double aopc = 0.0, compr1 = 0.0, units = 0.0, coherence = 0.0;
-    int n = 0;
-    for (const auto& prepared : prepared_all) {
+  auto spec = crew::bench::SpecFromOptions("f7_design_ablation", options);
+  spec.suite = [samples = options.samples](
+                   const crew::TrainedPipeline& pipeline) {
+    std::vector<crew::SuiteEntry> suite;
+    for (const DesignCase& design : kCases) {
       crew::CrewConfig config;
-      config.importance.perturbation.num_samples = options.samples;
+      config.importance.perturbation.num_samples = samples;
       config.linkage = design.linkage;
       config.auto_k = design.auto_k;
       config.rescore_clusters = design.rescore;
-      crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto e = explainer.ExplainClusters(
-            *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 18));
-        crew::bench::DieIfError(e.status());
-        if (e->units.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer, pair),
-            e->units, e->words.base_score,
-            prepared.pipeline.matcher->threshold()};
-        aopc += crew::AopcDeletion(*prepared.pipeline.matcher, instance, 5);
-        compr1 += crew::ComprehensivenessAtK(*prepared.pipeline.matcher,
-                                             instance, 1);
-        units += static_cast<double>(e->units.size());
-        coherence += e->coherence;
-        ++n;
-      }
+      suite.push_back({design.name, std::make_unique<crew::CrewExplainer>(
+                                        pipeline.embeddings, config)});
     }
-    if (n == 0) continue;
-    table.AddRow({design.name, crew::Table::Num(aopc / n),
-                  crew::Table::Num(compr1 / n),
-                  crew::Table::Num(units / n, 1),
-                  crew::Table::Num(coherence / n)});
+    return suite;
+  };
+  crew::ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::ExperimentResult summary;
+  summary.name = result->name;
+  summary.params = result->params;
+  for (const std::string& name : result->VariantNames()) {
+    crew::ExperimentCell cell;
+    cell.dataset = "all";
+    cell.variant = name;
+    cell.aggregate = result->ReduceAcross(name);
+    summary.cells.push_back(std::move(cell));
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::TableSink table(
+      {crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),
+       crew::AggColumn("compr@1",
+                       &crew::ExplainerAggregate::comprehensiveness_at_1),
+       crew::AggColumn("units", &crew::ExplainerAggregate::total_units, 1),
+       crew::AggColumn("coherence",
+                       &crew::ExplainerAggregate::cluster_coherence)},
+      /*dataset_column=*/false, /*variant_column=*/true);
+  crew::bench::DieIfError(table.Consume(summary));
+  crew::bench::EmitJsonIfRequested(*result, options);
   return 0;
 }

@@ -165,6 +165,23 @@ void BatchArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_PredictProbaBatch)->Apply(BatchArgs);
 BENCHMARK(BM_PredictProbaLoop)->Apply(BatchArgs);
 
+// Perturbation-shaped batch through the embedding-bag matcher: every pair
+// in the batch is a variant of the same record pair, so the scratch's
+// token -> embedding-row cache should absorb nearly all vocabulary
+// lookups after the first variant (the case the cache exists for).
+void BM_EmbeddingBagPerturbationBatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const auto& pipeline = PipelineFor(crew::MatcherKind::kEmbeddingBag);
+  std::vector<crew::RecordPair> pairs(batch, pipeline.test.pair(0));
+  std::vector<double> scores;
+  for (auto _ : state) {
+    pipeline.matcher->PredictProbaBatch(pairs, &scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EmbeddingBagPerturbationBatch)->Arg(32)->Arg(256)->Arg(1024);
+
 void BM_SgnsEpoch(benchmark::State& state) {
   crew::Corpus corpus;
   crew::Rng rng(3);

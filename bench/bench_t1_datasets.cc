@@ -3,7 +3,9 @@
 // The "Table 1: datasets" every EM paper opens its evaluation with: pair
 // counts, match ratio, vocabulary size, record length, and the token
 // overlap gap between matches and non-matches (the signal the matchers
-// learn and the explainers must surface).
+// learn and the explainers must surface). No training or explaining
+// happens here, so the cells are built directly rather than through
+// ExperimentRunner — but the emit path (table + --json) is shared.
 
 #include <cstdio>
 
@@ -12,20 +14,37 @@
 int main(int argc, char** argv) {
   const auto options = crew::bench::BenchOptions::Parse(argc, argv);
   std::printf("== T1: dataset statistics ==\n\n");
-  crew::Table table({"dataset", "pairs", "match%", "vocab", "tokens/rec",
-                     "jaccard(match)", "jaccard(nonmatch)"});
+
+  crew::ExperimentResult result;
+  result.name = "t1_datasets";
+  result.params.push_back({"seed", std::to_string(options.seed)});
   crew::Tokenizer tokenizer;
   for (const auto& entry : options.Datasets()) {
     auto dataset = crew::GenerateDataset(entry.config);
     crew::bench::DieIfError(dataset.status());
     const auto stats = crew::ComputeStats(dataset.value(), tokenizer);
-    table.AddRow({entry.name, std::to_string(stats.pairs),
-                  crew::Table::Num(100.0 * stats.match_ratio, 1),
-                  std::to_string(stats.vocabulary_size),
-                  crew::Table::Num(stats.avg_tokens_per_record, 1),
-                  crew::Table::Num(stats.avg_token_overlap_match),
-                  crew::Table::Num(stats.avg_token_overlap_nonmatch)});
+    crew::ExperimentCell cell;
+    cell.dataset = entry.name;
+    cell.variant = "stats";
+    cell.metrics = {
+        {"pairs", static_cast<double>(stats.pairs)},
+        {"match_pct", 100.0 * stats.match_ratio},
+        {"vocab", static_cast<double>(stats.vocabulary_size)},
+        {"tokens_per_rec", stats.avg_tokens_per_record},
+        {"jaccard_match", stats.avg_token_overlap_match},
+        {"jaccard_nonmatch", stats.avg_token_overlap_nonmatch},
+    };
+    result.cells.push_back(std::move(cell));
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+
+  crew::bench::EmitExperiment(
+      result, options,
+      {crew::MetricColumn("pairs", "pairs", 0),
+       crew::MetricColumn("match%", "match_pct", 1),
+       crew::MetricColumn("vocab", "vocab", 0),
+       crew::MetricColumn("tokens/rec", "tokens_per_rec", 1),
+       crew::MetricColumn("jaccard(match)", "jaccard_match"),
+       crew::MetricColumn("jaccard(nonmatch)", "jaccard_nonmatch")},
+      /*dataset_column=*/true, /*variant_column=*/false);
   return 0;
 }

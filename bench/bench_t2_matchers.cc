@@ -1,46 +1,49 @@
 // T2 — Matcher quality (precision / recall / F1) per dataset x matcher.
 //
 // Reproduces the "models under explanation are competent" table every EM
-// explainability paper reports before evaluating explainers.
+// explainability paper reports before evaluating explainers. Each matcher
+// kind is one grid variant; no explaining happens, so the cells are built
+// directly and only the emit path (table + --json) is shared.
 //
 //   ./bench_t2_matchers [--matches 250] [--nonmatches 350] [--seed 7]
 
 #include <cstdio>
 
-#include "crew/common/flags.h"
-#include "crew/data/benchmark_suite.h"
-#include "crew/eval/table.h"
-#include "crew/model/trainer.h"
+#include "bench_util.h"
 
 int main(int argc, char** argv) {
-  crew::FlagParser flags(argc, argv);
-  const int matches = flags.GetInt("matches", 250);
-  const int nonmatches = flags.GetInt("nonmatches", 350);
-  const uint64_t seed = flags.GetUint64("seed", 7);
-
+  const auto options = crew::bench::BenchOptions::Parse(argc, argv);
   std::printf("== T2: matcher quality (test F1) ==\n\n");
-  crew::Table table({"dataset", "matcher", "precision", "recall", "f1",
-                     "threshold"});
-  for (const auto& entry :
-       crew::StandardBenchmark(seed, matches, nonmatches)) {
+
+  crew::ExperimentResult result;
+  result.name = "t2_matchers";
+  result.params.push_back({"seed", std::to_string(options.seed)});
+  for (const auto& entry : options.Datasets()) {
     auto dataset = crew::GenerateDataset(entry.config);
-    if (!dataset.ok()) {
-      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
-      return 1;
-    }
+    crew::bench::DieIfError(dataset.status());
     for (crew::MatcherKind kind : crew::AllMatcherKinds()) {
-      auto pipeline = crew::TrainPipeline(dataset.value(), kind, 0.7, seed);
-      if (!pipeline.ok()) {
-        std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
-        return 1;
-      }
+      auto pipeline =
+          crew::TrainPipeline(dataset.value(), kind, 0.7, options.seed);
+      crew::bench::DieIfError(pipeline.status());
       const auto& m = pipeline.value().test_metrics;
-      table.AddRow({entry.name, crew::MatcherKindName(kind),
-                    crew::Table::Num(m.Precision()),
-                    crew::Table::Num(m.Recall()), crew::Table::Num(m.F1()),
-                    crew::Table::Num(pipeline.value().matcher->threshold())});
+      crew::ExperimentCell cell;
+      cell.dataset = entry.name;
+      cell.variant = crew::MatcherKindName(kind);
+      cell.metrics = {
+          {"precision", m.Precision()},
+          {"recall", m.Recall()},
+          {"f1", m.F1()},
+          {"threshold", pipeline.value().matcher->threshold()},
+      };
+      result.cells.push_back(std::move(cell));
     }
   }
-  std::printf("%s\n", table.ToAligned().c_str());
+
+  crew::bench::EmitExperiment(
+      result, options,
+      {crew::MetricColumn("precision", "precision"),
+       crew::MetricColumn("recall", "recall"),
+       crew::MetricColumn("f1", "f1"),
+       crew::MetricColumn("threshold", "threshold")});
   return 0;
 }

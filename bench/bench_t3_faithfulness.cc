@@ -6,7 +6,6 @@
 // Expected shape: CREW >= Landmark/LEMON >= LIME/Mojito >> random.
 
 #include <cstdio>
-#include <map>
 
 #include "bench_util.h"
 #include "crew/eval/significance.h"
@@ -18,56 +17,41 @@ int main(int argc, char** argv) {
       "matcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table({"dataset", "explainer", "aopc", "compr@5w", "flip%",
-                     "r2"});
-  std::map<std::string, std::pair<double, int>> overall;
-  // Paired per-instance AOPC samples for the significance test.
-  std::map<std::string, std::vector<double>> samples_by_explainer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      std::vector<double> per_instance;
-      auto agg = crew::EvaluateExplainerOnDataset(
-          *explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
-          prepared.instances, prepared.pipeline.embeddings.get(),
-          options.seed, &per_instance);
-      crew::bench::DieIfError(agg.status());
-      auto& samples = samples_by_explainer[agg->name];
-      samples.insert(samples.end(), per_instance.begin(),
-                     per_instance.end());
-      table.AddRow({prepared.name, agg->name, crew::Table::Num(agg->aopc),
-                    crew::Table::Num(agg->comprehensiveness_budget5),
-                    crew::Table::Num(100.0 * agg->decision_flip_rate, 1),
-                    crew::Table::Num(agg->surrogate_r2, 2)});
-      auto& [sum, n] = overall[agg->name];
-      sum += agg->aopc;
-      ++n;
-    }
-  }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("t3_faithfulness", options));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),
+       crew::AggColumn("compr@5w",
+                       &crew::ExplainerAggregate::comprehensiveness_budget5),
+       {"flip%",
+        [](const crew::ExperimentCell& cell) {
+          return crew::Table::Num(
+              100.0 * cell.aggregate.decision_flip_rate, 1);
+        }},
+       crew::AggColumn("r2", &crew::ExplainerAggregate::surrogate_r2, 2)});
 
   std::printf("-- mean AOPC across datasets --\n");
   crew::Table summary({"explainer", "mean_aopc"});
-  for (const auto& [name, acc] : overall) {
-    summary.AddRow({name, crew::Table::Num(acc.first / acc.second)});
+  for (const std::string& name : result->VariantNames()) {
+    summary.AddRow({name, crew::Table::Num(result->ReduceAcross(name).aopc)});
   }
   std::printf("%s\n", summary.ToAligned().c_str());
 
   // Paired bootstrap: is CREW's AOPC advantage over each baseline
   // statistically solid on these instances?
-  const auto crew_it = samples_by_explainer.find("crew");
-  if (crew_it != samples_by_explainer.end()) {
+  const std::vector<double> crew_samples = result->PerInstanceAopc("crew");
+  if (!crew_samples.empty()) {
     std::printf("-- paired bootstrap, crew vs baseline (one-sided) --\n");
     crew::Table sig({"baseline", "mean diff", "95% CI", "p-value"});
-    for (const auto& [name, samples] : samples_by_explainer) {
-      if (name == "crew" || samples.size() != crew_it->second.size()) {
-        continue;
-      }
-      auto cmp = crew::PairedBootstrap(crew_it->second, samples, 2000,
+    for (const std::string& name : result->VariantNames()) {
+      if (name == "crew") continue;
+      const std::vector<double> samples = result->PerInstanceAopc(name);
+      if (samples.size() != crew_samples.size()) continue;
+      auto cmp = crew::PairedBootstrap(crew_samples, samples, 2000,
                                        options.seed);
       if (!cmp.ok()) continue;
       sig.AddRow({name, crew::Table::Num(cmp->mean_difference),

@@ -15,48 +15,19 @@ int main(int argc, char** argv) {
       "matcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table({"dataset", "explainer", "compr@1", "compr@3", "suff@1",
-                     "suff@3", "ins_aopc"});
-  crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      auto agg = crew::EvaluateExplainerOnDataset(
-          *explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
-          prepared.instances, prepared.pipeline.embeddings.get(),
-          options.seed);
-      crew::bench::DieIfError(agg.status());
-      // Insertion AOPC is not part of the shared aggregate; compute here.
-      double insertion = 0.0;
-      int n_ins = 0;
-      for (int idx : prepared.instances) {
-        const crew::RecordPair& pair = prepared.pipeline.test.pair(idx);
-        auto explained = crew::ExplainAsUnits(
-            *explainer, *prepared.pipeline.matcher, pair,
-            options.seed ^ (static_cast<uint64_t>(idx) << 20));
-        crew::bench::DieIfError(explained.status());
-        if (explained->second.empty()) continue;
-        crew::EvalInstance instance{
-            crew::PairTokenView(crew::AnonymousSchema(pair), tokenizer,
-                                pair),
-            explained->second, explained->first.base_score,
-            prepared.pipeline.matcher->threshold()};
-        insertion +=
-            crew::AopcInsertion(*prepared.pipeline.matcher, instance, 3);
-        ++n_ins;
-      }
-      table.AddRow({prepared.name, agg->name,
-                    crew::Table::Num(agg->comprehensiveness_at_1),
-                    crew::Table::Num(agg->comprehensiveness_at_3),
-                    crew::Table::Num(agg->sufficiency_at_1),
-                    crew::Table::Num(agg->sufficiency_at_3),
-                    crew::Table::Num(n_ins > 0 ? insertion / n_ins : 0.0)});
-    }
-  }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("t4_suff_compr", options));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::AggColumn("compr@1",
+                       &crew::ExplainerAggregate::comprehensiveness_at_1),
+       crew::AggColumn("compr@3",
+                       &crew::ExplainerAggregate::comprehensiveness_at_3),
+       crew::AggColumn("suff@1", &crew::ExplainerAggregate::sufficiency_at_1),
+       crew::AggColumn("suff@3", &crew::ExplainerAggregate::sufficiency_at_3),
+       crew::AggColumn("ins_aopc", &crew::ExplainerAggregate::insertion_aopc)});
   return 0;
 }

@@ -16,28 +16,21 @@ int main(int argc, char** argv) {
       "units: total explanation units; eff: units covering 90%% of weight\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table({"dataset", "explainer", "units", "eff_units",
-                     "words/unit", "coherence", "attr_purity"});
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    for (const auto& explainer : suite) {
-      auto agg = crew::EvaluateExplainerOnDataset(
-          *explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
-          prepared.instances, prepared.pipeline.embeddings.get(),
-          options.seed);
-      crew::bench::DieIfError(agg.status());
-      table.AddRow({prepared.name, agg->name,
-                    crew::Table::Num(agg->total_units, 1),
-                    crew::Table::Num(agg->effective_units, 1),
-                    crew::Table::Num(agg->words_per_unit, 1),
-                    crew::Table::Num(agg->semantic_coherence),
-                    crew::Table::Num(agg->attribute_purity, 2)});
-    }
-  }
-  std::printf("%s\n", table.ToAligned().c_str());
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("t5_comprehensibility", options));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::AggColumn("units", &crew::ExplainerAggregate::total_units, 1),
+       crew::AggColumn("eff_units",
+                       &crew::ExplainerAggregate::effective_units, 1),
+       crew::AggColumn("words/unit",
+                       &crew::ExplainerAggregate::words_per_unit, 1),
+       crew::AggColumn("coherence",
+                       &crew::ExplainerAggregate::semantic_coherence),
+       crew::AggColumn("attr_purity",
+                       &crew::ExplainerAggregate::attribute_purity, 2)});
   return 0;
 }

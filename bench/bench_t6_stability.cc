@@ -2,10 +2,10 @@
 // across 4 sampling seeds. Perturbation explainers are stochastic; an
 // explanation a user cannot reproduce is not trustworthy.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
-#include "crew/eval/stability.h"
 
 int main(int argc, char** argv) {
   const auto options = crew::bench::BenchOptions::Parse(argc, argv);
@@ -17,30 +17,18 @@ int main(int argc, char** argv) {
       top_k, static_cast<int>(seeds.size()), options.matcher.c_str(),
       options.samples, options.instances);
 
-  crew::Table table({"dataset", "explainer", "jaccard@10"});
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
-    const auto suite =
-        crew::BuildExplainerSuite(prepared.pipeline.embeddings,
-                                  prepared.pipeline.train,
-                                  crew::bench::SuiteConfig(options));
-    const int n_instances =
-        std::min<int>(4, static_cast<int>(prepared.instances.size()));
-    for (const auto& explainer : suite) {
-      double total = 0.0;
-      int count = 0;
-      for (int i = 0; i < n_instances; ++i) {
-        auto stability = crew::ExplainerStability(
-            *explainer, *prepared.pipeline.matcher,
-            prepared.pipeline.test.pair(prepared.instances[i]), seeds, top_k);
-        crew::bench::DieIfError(stability.status());
-        total += stability.value();
-        ++count;
-      }
-      table.AddRow({prepared.name, explainer->Name(),
-                    crew::Table::Num(count > 0 ? total / count : 0.0)});
-    }
-  }
-  std::printf("%s\n", table.ToAligned().c_str());
+  auto spec = crew::bench::SpecFromOptions("t6_stability", options);
+  // Stability re-explains each instance once per seed, so keep the
+  // historical cap of 4 measured instances per dataset.
+  spec.instances_per_dataset = std::min(4, options.instances);
+  spec.eval.stability_seeds = seeds;
+  spec.eval.stability_top_k = top_k;
+  crew::ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::AggColumn("jaccard@10", &crew::ExplainerAggregate::stability)});
   return 0;
 }

@@ -16,29 +16,42 @@ int main(int argc, char** argv) {
       "matcher=%s samples=%d instances/dataset=%d\n\n",
       options.matcher.c_str(), options.samples, options.instances);
 
-  crew::Table table({"dataset", "top attribute", "share", "top tokens"});
-  for (const auto& entry : options.Datasets()) {
-    const auto prepared = crew::bench::Prepare(entry, options);
+  crew::ExperimentRunner runner(
+      crew::bench::SpecFromOptions("t7_global", options));
+  auto result = runner.RunWith([&](const crew::PreparedDataset& prepared,
+                                   crew::ExperimentResult* out) -> crew::Status {
     crew::CrewConfig config;
     config.importance.perturbation.num_samples = options.samples;
     crew::CrewExplainer explainer(prepared.pipeline.embeddings, config);
     auto global = crew::BuildGlobalExplanation(
         explainer, *prepared.pipeline.matcher, prepared.pipeline.test,
         prepared.instances, options.seed);
-    crew::bench::DieIfError(global.status());
+    if (!global.ok()) return global.status();
     std::string tokens;
     for (size_t t = 0; t < global->tokens.size() && t < 4; ++t) {
       if (t > 0) tokens += ", ";
       tokens += global->tokens[t].token;
     }
-    table.AddRow({prepared.name,
-                  global->attributes.empty() ? "-"
-                                             : global->attributes[0].name,
-                  global->attributes.empty()
-                      ? "-"
-                      : crew::Table::Num(global->attributes[0].share, 2),
-                  tokens});
-  }
-  std::printf("%s\n", table.ToAligned().c_str());
+    crew::ExperimentCell cell;
+    cell.dataset = prepared.name;
+    cell.variant = "crew-global";
+    cell.notes.push_back(
+        {"top_attribute",
+         global->attributes.empty() ? "-" : global->attributes[0].name});
+    cell.notes.push_back({"top_tokens", tokens});
+    if (!global->attributes.empty()) {
+      cell.metrics.push_back({"top_share", global->attributes[0].share});
+    }
+    out->cells.push_back(std::move(cell));
+    return crew::Status::Ok();
+  });
+  crew::bench::DieIfError(result.status());
+
+  crew::bench::EmitExperiment(
+      *result, options,
+      {crew::NoteColumn("top attribute", "top_attribute"),
+       crew::MetricColumn("share", "top_share", 2),
+       crew::NoteColumn("top tokens", "top_tokens")},
+      /*dataset_column=*/true, /*variant_column=*/false);
   return 0;
 }

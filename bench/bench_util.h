@@ -4,12 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crew/common/flags.h"
 #include "crew/common/thread_pool.h"
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/experiment.h"
+#include "crew/eval/runner.h"
+#include "crew/eval/sinks.h"
 #include "crew/eval/table.h"
 #include "crew/model/trainer.h"
 
@@ -26,6 +29,7 @@ struct BenchOptions {
   std::string matcher = "mlp";
   std::string dataset;   ///< empty = all nine
   int threads = 0;       ///< scoring threads; 0 = hardware, 1 = legacy serial
+  std::string json;      ///< non-empty: also write the ExperimentResult here
 
   static BenchOptions Parse(int argc, char** argv) {
     FlagParser flags(argc, argv);
@@ -42,6 +46,7 @@ struct BenchOptions {
     o.matcher = flags.GetString("matcher", o.matcher);
     o.dataset = flags.GetString("dataset", o.dataset);
     o.threads = flags.GetInt("threads", o.threads);
+    o.json = flags.GetString("json", o.json);
     SetScoringThreads(o.threads);
     return o;
   }
@@ -75,34 +80,48 @@ inline void DieIfError(const Status& status) {
   }
 }
 
-/// One dataset's trained pipeline + selected explanation instances.
-struct PreparedDataset {
-  std::string name;
-  TrainedPipeline pipeline;
-  std::vector<int> instances;
-};
-
-inline PreparedDataset Prepare(const BenchmarkEntry& entry,
-                               const BenchOptions& options) {
-  PreparedDataset out;
-  out.name = entry.name;
-  auto dataset = GenerateDataset(entry.config);
-  DieIfError(dataset.status());
-  auto pipeline = TrainPipeline(dataset.value(), options.MatcherKindOrDie(),
-                                0.7, options.seed);
-  DieIfError(pipeline.status());
-  out.pipeline = std::move(pipeline.value());
-  Rng rng(options.seed ^ 0xbeac4ULL);
-  out.instances = SelectExplainInstances(*out.pipeline.matcher,
-                                         out.pipeline.test,
-                                         options.instances, rng);
-  return out;
+/// ExperimentSpec over the shared flags with the standard explainer
+/// line-up; benches tweak the returned spec (eval knobs, custom suites)
+/// before handing it to ExperimentRunner.
+inline ExperimentSpec SpecFromOptions(std::string name,
+                                      const BenchOptions& options) {
+  ExperimentSpec spec;
+  spec.name = std::move(name);
+  spec.datasets = options.Datasets();
+  spec.matcher = options.MatcherKindOrDie();
+  spec.instances_per_dataset = options.instances;
+  spec.seed = options.seed;
+  spec.suite = [samples = options.samples](const TrainedPipeline& pipeline) {
+    ExplainerSuiteConfig config;
+    config.num_samples = samples;
+    return NameSuite(
+        BuildExplainerSuite(pipeline.embeddings, pipeline.train, config));
+  };
+  return spec;
 }
 
-inline ExplainerSuiteConfig SuiteConfig(const BenchOptions& options) {
-  ExplainerSuiteConfig config;
-  config.num_samples = options.samples;
-  return config;
+/// Standard emit path of every bench: print the cell grid as an aligned
+/// table and honour --json.
+inline void EmitExperiment(const ExperimentResult& result,
+                           const BenchOptions& options,
+                           std::vector<TableColumn> columns,
+                           bool dataset_column = true,
+                           bool variant_column = true) {
+  TableSink table(std::move(columns), dataset_column, variant_column);
+  DieIfError(table.Consume(result));
+  if (!options.json.empty()) {
+    DieIfError(WriteExperimentJson(result, options.json));
+    std::printf("wrote %s\n", options.json.c_str());
+  }
+}
+
+/// Emit path for benches that already printed custom tables: only the
+/// --json leg.
+inline void EmitJsonIfRequested(const ExperimentResult& result,
+                                const BenchOptions& options) {
+  if (options.json.empty()) return;
+  DieIfError(WriteExperimentJson(result, options.json));
+  std::printf("wrote %s\n", options.json.c_str());
 }
 
 }  // namespace crew::bench

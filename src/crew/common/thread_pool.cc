@@ -49,11 +49,30 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Depth of ParallelFor fan-outs the current thread is executing inside.
+// Chunk bodies of a fanned-out ParallelFor run with the counter raised, so
+// nested ParallelFor calls (e.g. BatchScorer under instance sharding) take
+// the inline path instead of re-entering the pool — re-entering would
+// deadlock once every worker is parked in an outer chunk's barrier wait.
+thread_local int t_parallel_depth = 0;
+
+class ScopedParallelRegion {
+ public:
+  ScopedParallelRegion() { ++t_parallel_depth; }
+  ~ScopedParallelRegion() { --t_parallel_depth; }
+};
+
+}  // namespace
+
+bool InParallelRegion() { return t_parallel_depth > 0; }
+
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int begin, int end)>& fn) {
   if (n <= 0) return;
   const int threads = pool == nullptr ? 1 : pool->size();
-  if (threads <= 1 || n == 1) {
+  if (threads <= 1 || n == 1 || InParallelRegion()) {
     fn(0, n);
     return;
   }
@@ -78,7 +97,10 @@ void ParallelFor(ThreadPool* pool, int n,
     const int begin = c * per_chunk;
     const int end = std::min(n, begin + per_chunk);
     pool->Submit([fn, begin, end, barrier] {
-      fn(begin, end);
+      {
+        ScopedParallelRegion region;
+        fn(begin, end);
+      }
       {
         std::lock_guard<std::mutex> lock(barrier->mu);
         --barrier->pending;
@@ -86,7 +108,10 @@ void ParallelFor(ThreadPool* pool, int n,
       barrier->cv.notify_one();
     });
   }
-  fn(0, std::min(n, per_chunk));
+  {
+    ScopedParallelRegion region;
+    fn(0, std::min(n, per_chunk));
+  }
   std::unique_lock<std::mutex> lock(barrier->mu);
   barrier->cv.wait(lock, [&] { return barrier->pending == 0; });
 }

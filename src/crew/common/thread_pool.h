@@ -49,8 +49,20 @@ class ThreadPool {
 /// thread count (including the pool == nullptr / single-thread case, which
 /// runs fn(0, n) inline on the caller thread). Blocks until all chunks are
 /// done. `fn` must be safe to invoke concurrently on disjoint ranges.
+///
+/// Nesting rule: a ParallelFor issued from inside a chunk of another
+/// ParallelFor runs inline on the issuing thread instead of dispatching to
+/// the pool. Dispatching would deadlock — outer chunks occupy every worker
+/// while waiting on inner chunks queued behind them — and the outer level
+/// already saturates the pool, so inline is also the right perf call.
+/// Chunking is the same as the pool == nullptr case, so determinism holds.
 void ParallelFor(ThreadPool* pool, int n,
                  const std::function<void(int begin, int end)>& fn);
+
+/// True while the calling thread is executing a chunk dispatched by a
+/// ParallelFor that actually fanned out (more than one chunk). Nested
+/// ParallelFor calls consult this to fall back to the inline path.
+bool InParallelRegion();
 
 /// max(1, std::thread::hardware_concurrency()).
 int HardwareThreads();

@@ -40,6 +40,29 @@ double EmbeddingStore::Similarity(std::string_view a,
   return dot;
 }
 
+double EmbeddingStore::SimilarityById(int a, int b) const {
+  if (a < 0 || b < 0) return 0.0;
+  const double* ra = vectors_.Row(a);
+  const double* rb = vectors_.Row(b);
+  double dot = 0.0;
+  for (int c = 0; c < dim(); ++c) dot += ra[c] * rb[c];
+  return dot;
+}
+
+void EmbeddingStore::MeanVectorOfIdsInto(const std::vector<int>& ids,
+                                         la::Vec* out) const {
+  out->assign(dim(), 0.0);
+  la::Vec& mean = *out;
+  int n = 0;
+  for (int id : ids) {
+    if (id < 0) continue;
+    const double* row = vectors_.Row(id);
+    for (int c = 0; c < dim(); ++c) mean[c] += row[c];
+    ++n;
+  }
+  if (n > 0) la::Scale(1.0 / n, mean);
+}
+
 la::Vec EmbeddingStore::MeanVector(
     const std::vector<std::string>& tokens) const {
   la::Vec mean;

@@ -38,6 +38,20 @@ class EmbeddingStore {
   /// Cosine similarity of two tokens; 0 if either is OOV.
   double Similarity(std::string_view a, std::string_view b) const;
 
+  /// Row id of `token`, or -1 when OOV. Ids are stable handles into the
+  /// table; hot loops (EmbeddingBagMatcher's batch encoder) resolve each
+  /// distinct token once and use the id-based accessors below, skipping
+  /// the per-call hash lookups.
+  int TokenId(std::string_view token) const { return vocab_.GetId(token); }
+
+  /// Similarity by row ids; 0 if either id is negative (OOV). Identical
+  /// floating-point operations to Similarity on the same tokens.
+  double SimilarityById(int a, int b) const;
+
+  /// MeanVectorInto over pre-resolved ids (negative ids = OOV, skipped).
+  /// Bit-identical to MeanVectorInto on the tokens the ids came from.
+  void MeanVectorOfIdsInto(const std::vector<int>& ids, la::Vec* out) const;
+
   /// Mean of the vectors of `tokens` (OOV tokens skipped). Zero vector when
   /// nothing is in vocabulary.
   la::Vec MeanVector(const std::vector<std::string>& tokens) const;

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "crew/core/decision_units.h"
+#include "crew/eval/runner.h"
 #include "crew/explain/certa.h"
 #include "crew/explain/lemon.h"
 #include "crew/explain/lime.h"
 #include "crew/explain/mojito.h"
-#include "crew/explain/shap.h"
-#include "crew/core/decision_units.h"
 #include "crew/explain/random_explainer.h"
+#include "crew/explain/shap.h"
 
 namespace crew {
 
@@ -74,48 +75,66 @@ std::vector<int> SelectExplainInstances(const Matcher& matcher,
   }
   rng.Shuffle(predicted_match);
   rng.Shuffle(predicted_nonmatch);
-  std::vector<int> out;
+  // Balanced draw, then symmetric backfill: whichever side runs short, the
+  // other side tops the selection up to n (bounded by total availability).
   const int half = n / 2;
-  for (int i = 0; i < half && i < static_cast<int>(predicted_match.size());
-       ++i) {
-    out.push_back(predicted_match[i]);
+  std::vector<int> out;
+  size_t m = 0, u = 0;
+  while (static_cast<int>(out.size()) < half &&
+         m < predicted_match.size()) {
+    out.push_back(predicted_match[m++]);
   }
-  for (int i = 0;
-       static_cast<int>(out.size()) < n &&
-       i < static_cast<int>(predicted_nonmatch.size());
-       ++i) {
-    out.push_back(predicted_nonmatch[i]);
+  while (static_cast<int>(out.size()) < n &&
+         u < predicted_nonmatch.size()) {
+    out.push_back(predicted_nonmatch[u++]);
   }
-  // Backfill with more predicted matches if non-matches ran out.
-  for (int i = half;
-       static_cast<int>(out.size()) < n &&
-       i < static_cast<int>(predicted_match.size());
-       ++i) {
-    out.push_back(predicted_match[i]);
+  while (static_cast<int>(out.size()) < n && m < predicted_match.size()) {
+    out.push_back(predicted_match[m++]);
   }
+  return out;
+}
+
+Result<UnitizedExplanation> ExplainAsUnitsEx(const Explainer& explainer,
+                                             const Matcher& matcher,
+                                             const RecordPair& pair,
+                                             uint64_t seed) {
+  // CREW is the one explainer producing multi-word units; detect it here so
+  // callers can treat the whole line-up uniformly. (RTTI confined to the
+  // evaluation harness.)
+  UnitizedExplanation out;
+  if (const auto* crew = dynamic_cast<const CrewExplainer*>(&explainer)) {
+    auto clusters = crew->ExplainClusters(matcher, pair, seed);
+    if (!clusters.ok()) return clusters.status();
+    out.words = std::move(clusters.value().words);
+    out.units = std::move(clusters.value().units);
+    out.has_cluster_stats = true;
+    out.cluster_coherence = clusters.value().coherence;
+    out.cluster_silhouette = clusters.value().silhouette;
+    out.chosen_k = clusters.value().chosen_k;
+    return out;
+  }
+  if (const auto* wym =
+          dynamic_cast<const DecisionUnitExplainer*>(&explainer)) {
+    auto explained = wym->ExplainUnits(matcher, pair, seed);
+    if (!explained.ok()) return explained.status();
+    out.words = std::move(explained.value().first);
+    out.units = std::move(explained.value().second);
+    return out;
+  }
+  auto words = explainer.Explain(matcher, pair, seed);
+  if (!words.ok()) return words.status();
+  out.units = SingletonUnits(words.value());
+  out.words = std::move(words.value());
   return out;
 }
 
 Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
 ExplainAsUnits(const Explainer& explainer, const Matcher& matcher,
                const RecordPair& pair, uint64_t seed) {
-  // CREW is the one explainer producing multi-word units; detect it here so
-  // callers can treat the whole line-up uniformly. (RTTI confined to the
-  // evaluation harness.)
-  if (const auto* crew = dynamic_cast<const CrewExplainer*>(&explainer)) {
-    auto clusters = crew->ExplainClusters(matcher, pair, seed);
-    if (!clusters.ok()) return clusters.status();
-    return std::make_pair(std::move(clusters.value().words),
-                          std::move(clusters.value().units));
-  }
-  if (const auto* wym =
-          dynamic_cast<const DecisionUnitExplainer*>(&explainer)) {
-    return wym->ExplainUnits(matcher, pair, seed);
-  }
-  auto words = explainer.Explain(matcher, pair, seed);
-  if (!words.ok()) return words.status();
-  auto units = SingletonUnits(words.value());
-  return std::make_pair(std::move(words.value()), std::move(units));
+  auto ex = ExplainAsUnitsEx(explainer, matcher, pair, seed);
+  if (!ex.ok()) return ex.status();
+  return std::make_pair(std::move(ex.value().words),
+                        std::move(ex.value().units));
 }
 
 Result<ExplainerAggregate> EvaluateExplainerOnDataset(
@@ -123,65 +142,16 @@ Result<ExplainerAggregate> EvaluateExplainerOnDataset(
     const std::vector<int>& instance_indices,
     const EmbeddingStore* embeddings, uint64_t seed,
     std::vector<double>* per_instance_aopc) {
-  ExplainerAggregate agg;
-  agg.name = explainer.Name();
-  if (per_instance_aopc != nullptr) per_instance_aopc->clear();
-  Tokenizer tokenizer;
-  for (int idx : instance_indices) {
-    const RecordPair& pair = test.pair(idx);
-    auto explained = ExplainAsUnits(explainer, matcher, pair,
-                                    seed ^ (static_cast<uint64_t>(idx) << 20));
-    if (!explained.ok()) return explained.status();
-    const WordExplanation& words = explained.value().first;
-    const std::vector<ExplanationUnit>& units = explained.value().second;
-    if (units.empty()) continue;
-
-    EvalInstance instance{
-        PairTokenView(AnonymousSchema(pair), tokenizer, pair), units,
-        words.base_score, matcher.threshold()};
-
-    const double aopc = AopcDeletion(matcher, instance, 5);
-    if (per_instance_aopc != nullptr) per_instance_aopc->push_back(aopc);
-    agg.aopc += aopc;
-    agg.comprehensiveness_at_1 += ComprehensivenessAtK(matcher, instance, 1);
-    agg.comprehensiveness_at_3 += ComprehensivenessAtK(matcher, instance, 3);
-    agg.sufficiency_at_1 += SufficiencyAtK(matcher, instance, 1);
-    agg.sufficiency_at_3 += SufficiencyAtK(matcher, instance, 3);
-    agg.comprehensiveness_budget5 +=
-        ComprehensivenessAtTokenBudget(matcher, instance, 5);
-    agg.decision_flip_rate +=
-        DecisionFlipAtTop(matcher, instance) ? 1.0 : 0.0;
-
-    const ComprehensibilityResult comp =
-        EvaluateComprehensibility(words, units, embeddings);
-    agg.total_units += comp.total_units;
-    agg.effective_units += comp.effective_units;
-    agg.words_per_unit += comp.avg_words_per_unit;
-    agg.semantic_coherence += comp.semantic_coherence;
-    agg.attribute_purity += comp.attribute_purity;
-
-    agg.surrogate_r2 += words.surrogate_r2;
-    agg.runtime_ms += words.runtime_ms;
-    ++agg.instances;
+  auto records = EvaluateInstances(explainer, matcher, test, instance_indices,
+                                   embeddings, seed);
+  if (!records.ok()) return records.status();
+  if (per_instance_aopc != nullptr) {
+    per_instance_aopc->clear();
+    for (const InstanceEvaluation& r : records.value()) {
+      if (r.evaluated) per_instance_aopc->push_back(r.aopc);
+    }
   }
-  if (agg.instances > 0) {
-    const double inv = 1.0 / agg.instances;
-    agg.aopc *= inv;
-    agg.comprehensiveness_at_1 *= inv;
-    agg.comprehensiveness_at_3 *= inv;
-    agg.sufficiency_at_1 *= inv;
-    agg.sufficiency_at_3 *= inv;
-    agg.comprehensiveness_budget5 *= inv;
-    agg.decision_flip_rate *= inv;
-    agg.total_units *= inv;
-    agg.effective_units *= inv;
-    agg.words_per_unit *= inv;
-    agg.semantic_coherence *= inv;
-    agg.attribute_purity *= inv;
-    agg.surrogate_r2 *= inv;
-    agg.runtime_ms *= inv;
-  }
-  return agg;
+  return ReduceInstances(explainer.Name(), records.value());
 }
 
 }  // namespace crew

@@ -38,7 +38,11 @@ std::vector<std::unique_ptr<Explainer>> BuildExplainerSuite(
 std::vector<int> SelectExplainInstances(const Matcher& matcher,
                                         const Dataset& test, int n, Rng& rng);
 
-/// Per-explainer aggregate over a set of explained instances.
+/// Per-explainer aggregate over a set of explained instances. Every column
+/// any experiment table prints is a mean of the per-instance records the
+/// runner collects (see crew/eval/runner.h); the reduction is deterministic
+/// (instance-index order), so aggregates are bit-identical for any
+/// `--threads` value.
 struct ExplainerAggregate {
   std::string name;
   int instances = 0;
@@ -50,12 +54,24 @@ struct ExplainerAggregate {
   double sufficiency_at_3 = 0.0;
   double comprehensiveness_budget5 = 0.0;  ///< equal-token (5 words) budget
   double decision_flip_rate = 0.0;
+  double insertion_aopc = 0.0;
+  // Minimal flip sets (units/tokens averaged over flipped instances only).
+  double flip_set_rate = 0.0;
+  double flip_set_units = 0.0;
+  double flip_set_tokens = 0.0;
   // Comprehensibility.
   double total_units = 0.0;
   double effective_units = 0.0;
   double words_per_unit = 0.0;
   double semantic_coherence = 0.0;
   double attribute_purity = 0.0;
+  // Cluster-level signals (CREW-family explainers only; 0 otherwise).
+  double cluster_coherence = 0.0;
+  double cluster_silhouette = 0.0;
+  double mean_chosen_k = 0.0;
+  /// Mean seed-stability Jaccard; only populated when the runner was asked
+  /// to measure stability (InstanceEvalOptions::stability_seeds).
+  double stability = 0.0;
   // Bookkeeping.
   double surrogate_r2 = 0.0;
   double runtime_ms = 0.0;
@@ -67,11 +83,36 @@ struct ExplainerAggregate {
 /// `per_instance_aopc` (optional) receives one AOPC value per evaluated
 /// instance, in `instance_indices` order — the paired samples the
 /// significance tests (PairedBootstrap) consume.
+///
+/// Implemented on top of the runner: instances are sharded across the
+/// shared scoring pool with per-instance seeds `seed ^ (idx << 20)`, and
+/// the reduction runs in index order, so the result is bit-identical to
+/// the historical serial loop for any `--threads` value.
 Result<ExplainerAggregate> EvaluateExplainerOnDataset(
     const Explainer& explainer, const Matcher& matcher, const Dataset& test,
     const std::vector<int>& instance_indices,
     const EmbeddingStore* embeddings, uint64_t seed,
     std::vector<double>* per_instance_aopc = nullptr);
+
+/// One explanation lifted to evaluation units, plus the cluster-level
+/// diagnostics that only cluster explainers (CREW) produce.
+struct UnitizedExplanation {
+  WordExplanation words;
+  std::vector<ExplanationUnit> units;
+  /// Valid only when has_cluster_stats (the explainer was CREW).
+  bool has_cluster_stats = false;
+  double cluster_coherence = 0.0;
+  double cluster_silhouette = 0.0;
+  int chosen_k = 0;
+};
+
+/// Unitizes one explanation: CREW -> clusters (keeping coherence /
+/// silhouette / chosen K), WYM -> decision units, everything else ->
+/// one-word units.
+Result<UnitizedExplanation> ExplainAsUnitsEx(const Explainer& explainer,
+                                             const Matcher& matcher,
+                                             const RecordPair& pair,
+                                             uint64_t seed);
 
 /// Unitizes one explanation: CREW -> clusters, everything else ->
 /// one-word units. Returns the word explanation plus the units.

@@ -1,0 +1,341 @@
+#include "crew/eval/runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crew/common/logging.h"
+#include "crew/common/thread_pool.h"
+#include "crew/common/timer.h"
+#include "crew/eval/comprehensibility.h"
+#include "crew/eval/stability.h"
+
+namespace crew {
+
+Result<InstanceEvaluation> EvaluateInstance(
+    const Explainer& explainer, const Matcher& matcher, const Dataset& test,
+    int index, const EmbeddingStore* embeddings, uint64_t seed,
+    const InstanceEvalOptions& options) {
+  InstanceEvaluation r;
+  r.index = index;
+  const RecordPair& pair = test.pair(index);
+  const uint64_t instance_seed =
+      seed ^ (static_cast<uint64_t>(index) << 20);
+  auto explained = ExplainAsUnitsEx(explainer, matcher, pair, instance_seed);
+  if (!explained.ok()) return explained.status();
+  const WordExplanation& words = explained->words;
+  const std::vector<ExplanationUnit>& units = explained->units;
+  if (units.empty()) return r;  // evaluated stays false
+  r.evaluated = true;
+
+  Tokenizer tokenizer;
+  EvalInstance instance{PairTokenView(AnonymousSchema(pair), tokenizer, pair),
+                        units, words.base_score, matcher.threshold()};
+  r.predicted_match = instance.PredictedMatch();
+
+  r.aopc = AopcDeletion(matcher, instance, options.aopc_max_k);
+  r.comprehensiveness_at_1 = ComprehensivenessAtK(matcher, instance, 1);
+  r.comprehensiveness_at_3 = ComprehensivenessAtK(matcher, instance, 3);
+  r.sufficiency_at_1 = SufficiencyAtK(matcher, instance, 1);
+  r.sufficiency_at_3 = SufficiencyAtK(matcher, instance, 3);
+  r.comprehensiveness_budget =
+      ComprehensivenessAtTokenBudget(matcher, instance, options.token_budget);
+  r.decision_flip = DecisionFlipAtTop(matcher, instance);
+  r.insertion_aopc = AopcInsertion(matcher, instance, options.insertion_max_k);
+  r.flip_set = MinimalFlipSet(matcher, instance);
+  if (!options.curve_fractions.empty()) {
+    r.curve = DeletionCurve(matcher, instance, options.curve_fractions);
+  }
+
+  const ComprehensibilityResult comp =
+      EvaluateComprehensibility(words, units, embeddings);
+  r.total_units = comp.total_units;
+  r.effective_units = comp.effective_units;
+  r.words_per_unit = comp.avg_words_per_unit;
+  r.semantic_coherence = comp.semantic_coherence;
+  r.attribute_purity = comp.attribute_purity;
+
+  r.has_cluster_stats = explained->has_cluster_stats;
+  r.cluster_coherence = explained->cluster_coherence;
+  r.cluster_silhouette = explained->cluster_silhouette;
+  r.chosen_k = explained->chosen_k;
+
+  if (!options.stability_seeds.empty()) {
+    auto stability =
+        ExplainerStability(explainer, matcher, pair, options.stability_seeds,
+                           options.stability_top_k);
+    if (!stability.ok()) return stability.status();
+    r.stability = stability.value();
+  }
+
+  r.surrogate_r2 = words.surrogate_r2;
+  r.runtime_ms = words.runtime_ms;
+  return r;
+}
+
+Result<std::vector<InstanceEvaluation>> EvaluateInstances(
+    const Explainer& explainer, const Matcher& matcher, const Dataset& test,
+    const std::vector<int>& indices, const EmbeddingStore* embeddings,
+    uint64_t seed, const InstanceEvalOptions& options) {
+  const int n = static_cast<int>(indices.size());
+  std::vector<InstanceEvaluation> records(n);
+  std::vector<Status> errors(n);
+  // Every slot is written by exactly one chunk, and the per-instance seed
+  // depends only on the pair index, so any thread count produces the same
+  // records. Scoring nested inside a chunk runs inline (ParallelFor's
+  // nesting rule) — one pool, no oversubscription.
+  ParallelFor(SharedScoringPool(), n, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      auto r = EvaluateInstance(explainer, matcher, test, indices[i],
+                                embeddings, seed, options);
+      if (r.ok()) {
+        records[i] = std::move(r.value());
+      } else {
+        errors[i] = r.status();
+      }
+    }
+  });
+  // First error in index order, so failures are as deterministic as
+  // successes.
+  for (const Status& status : errors) {
+    if (!status.ok()) return status;
+  }
+  return records;
+}
+
+ExplainerAggregate ReduceInstancesIf(
+    const std::string& name, const std::vector<InstanceEvaluation>& records,
+    const std::function<bool(const InstanceEvaluation&)>& filter) {
+  ExplainerAggregate agg;
+  agg.name = name;
+  int flipped = 0;
+  int clustered = 0;
+  for (const InstanceEvaluation& r : records) {
+    if (!r.evaluated) continue;
+    if (filter != nullptr && !filter(r)) continue;
+    agg.aopc += r.aopc;
+    agg.comprehensiveness_at_1 += r.comprehensiveness_at_1;
+    agg.comprehensiveness_at_3 += r.comprehensiveness_at_3;
+    agg.sufficiency_at_1 += r.sufficiency_at_1;
+    agg.sufficiency_at_3 += r.sufficiency_at_3;
+    agg.comprehensiveness_budget5 += r.comprehensiveness_budget;
+    agg.decision_flip_rate += r.decision_flip ? 1.0 : 0.0;
+    agg.insertion_aopc += r.insertion_aopc;
+    if (r.flip_set.flipped) {
+      agg.flip_set_rate += 1.0;
+      agg.flip_set_units += r.flip_set.units_removed;
+      agg.flip_set_tokens += r.flip_set.tokens_removed;
+      ++flipped;
+    }
+    agg.total_units += r.total_units;
+    agg.effective_units += r.effective_units;
+    agg.words_per_unit += r.words_per_unit;
+    agg.semantic_coherence += r.semantic_coherence;
+    agg.attribute_purity += r.attribute_purity;
+    if (r.has_cluster_stats) {
+      agg.cluster_coherence += r.cluster_coherence;
+      agg.cluster_silhouette += r.cluster_silhouette;
+      agg.mean_chosen_k += r.chosen_k;
+      ++clustered;
+    }
+    agg.stability += r.stability;
+    agg.surrogate_r2 += r.surrogate_r2;
+    agg.runtime_ms += r.runtime_ms;
+    ++agg.instances;
+  }
+  if (agg.instances > 0) {
+    const double inv = 1.0 / agg.instances;
+    agg.aopc *= inv;
+    agg.comprehensiveness_at_1 *= inv;
+    agg.comprehensiveness_at_3 *= inv;
+    agg.sufficiency_at_1 *= inv;
+    agg.sufficiency_at_3 *= inv;
+    agg.comprehensiveness_budget5 *= inv;
+    agg.decision_flip_rate *= inv;
+    agg.insertion_aopc *= inv;
+    agg.flip_set_rate *= inv;
+    agg.total_units *= inv;
+    agg.effective_units *= inv;
+    agg.words_per_unit *= inv;
+    agg.semantic_coherence *= inv;
+    agg.attribute_purity *= inv;
+    agg.stability *= inv;
+    agg.surrogate_r2 *= inv;
+    agg.runtime_ms *= inv;
+  }
+  if (flipped > 0) {
+    agg.flip_set_units /= flipped;
+    agg.flip_set_tokens /= flipped;
+  }
+  if (clustered > 0) {
+    agg.cluster_coherence /= clustered;
+    agg.cluster_silhouette /= clustered;
+    agg.mean_chosen_k /= clustered;
+  }
+  return agg;
+}
+
+ExplainerAggregate ReduceInstances(
+    const std::string& name, const std::vector<InstanceEvaluation>& records) {
+  return ReduceInstancesIf(name, records, nullptr);
+}
+
+std::vector<std::string> ExperimentResult::VariantNames() const {
+  std::vector<std::string> names;
+  for (const ExperimentCell& cell : cells) {
+    if (std::find(names.begin(), names.end(), cell.variant) == names.end()) {
+      names.push_back(cell.variant);
+    }
+  }
+  return names;
+}
+
+std::vector<double> ExperimentResult::PerInstanceAopc(
+    const std::string& variant) const {
+  std::vector<double> out;
+  for (const ExperimentCell& cell : cells) {
+    if (cell.variant != variant) continue;
+    for (const InstanceEvaluation& r : cell.instances) {
+      if (r.evaluated) out.push_back(r.aopc);
+    }
+  }
+  return out;
+}
+
+ExplainerAggregate ExperimentResult::ReduceAcross(
+    const std::string& variant) const {
+  std::vector<InstanceEvaluation> all;
+  for (const ExperimentCell& cell : cells) {
+    if (cell.variant != variant) continue;
+    all.insert(all.end(), cell.instances.begin(), cell.instances.end());
+  }
+  return ReduceInstances(variant, all);
+}
+
+std::vector<double> ExperimentResult::MeanCurve(
+    const std::string& variant) const {
+  std::vector<double> sum;
+  int n = 0;
+  for (const ExperimentCell& cell : cells) {
+    if (cell.variant != variant) continue;
+    for (const InstanceEvaluation& r : cell.instances) {
+      if (!r.evaluated || r.curve.empty()) continue;
+      if (sum.empty()) sum.assign(r.curve.size(), 0.0);
+      for (size_t i = 0; i < r.curve.size() && i < sum.size(); ++i) {
+        sum[i] += r.curve[i];
+      }
+      ++n;
+    }
+  }
+  if (n > 0) {
+    for (double& v : sum) v /= n;
+  }
+  return sum;
+}
+
+std::vector<SuiteEntry> NameSuite(
+    std::vector<std::unique_ptr<Explainer>> suite) {
+  std::vector<SuiteEntry> out;
+  out.reserve(suite.size());
+  for (auto& explainer : suite) {
+    SuiteEntry entry;
+    entry.name = explainer->Name();
+    entry.explainer = std::move(explainer);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<PreparedDataset> PrepareDataset(const BenchmarkEntry& entry,
+                                       const ExperimentSpec& spec) {
+  PreparedDataset out;
+  out.name = entry.name;
+  auto dataset = GenerateDataset(entry.config);
+  if (!dataset.ok()) return dataset.status();
+  auto pipeline = TrainPipeline(dataset.value(), spec.matcher,
+                                spec.train_fraction, spec.seed);
+  if (!pipeline.ok()) return pipeline.status();
+  out.pipeline = std::move(pipeline.value());
+  // Same selection seed the benches have always used, so the explained
+  // pairs (and every downstream number) survive the refactor unchanged.
+  Rng rng(spec.seed ^ 0xbeac4ULL);
+  out.instances =
+      SelectExplainInstances(*out.pipeline.matcher, out.pipeline.test,
+                             spec.instances_per_dataset, rng);
+  return out;
+}
+
+namespace {
+
+ScoringStats StatsDelta(const ScoringStats& after, const ScoringStats& before) {
+  ScoringStats d;
+  d.predictions = after.predictions - before.predictions;
+  d.batches = after.batches - before.batches;
+  d.materialize_ms = after.materialize_ms - before.materialize_ms;
+  d.predict_ms = after.predict_ms - before.predict_ms;
+  return d;
+}
+
+}  // namespace
+
+ExperimentResult ExperimentRunner::EmptyResult() const {
+  ExperimentResult out;
+  out.name = spec_.name;
+  out.params.push_back({"matcher", MatcherKindName(spec_.matcher)});
+  out.params.push_back(
+      {"instances", std::to_string(spec_.instances_per_dataset)});
+  out.params.push_back({"seed", std::to_string(spec_.seed)});
+  out.params.push_back({"threads", std::to_string(ScoringThreads())});
+  return out;
+}
+
+Result<ExperimentResult> ExperimentRunner::RunWith(
+    const std::function<Status(const PreparedDataset&, ExperimentResult*)>&
+        fn) const {
+  ExperimentResult out = EmptyResult();
+  for (const BenchmarkEntry& entry : spec_.datasets) {
+    auto prepared = PrepareDataset(entry, spec_);
+    if (!prepared.ok()) return prepared.status();
+    Status status = fn(prepared.value(), &out);
+    if (!status.ok()) return status;
+  }
+  return out;
+}
+
+Result<ExperimentResult> ExperimentRunner::RunPrepared(
+    const std::vector<PreparedDataset>& prepared) const {
+  ExperimentResult out = EmptyResult();
+  CREW_CHECK(spec_.suite != nullptr);
+  for (const PreparedDataset& p : prepared) {
+    std::vector<SuiteEntry> suite = spec_.suite(p.pipeline);
+    for (const SuiteEntry& entry : suite) {
+      const ScoringStats before = GlobalScoringStats();
+      WallTimer timer;
+      auto records = EvaluateInstances(
+          *entry.explainer, *p.pipeline.matcher, p.pipeline.test, p.instances,
+          p.pipeline.embeddings.get(), spec_.seed, spec_.eval);
+      if (!records.ok()) return records.status();
+      ExperimentCell cell;
+      cell.dataset = p.name;
+      cell.variant = entry.name;
+      cell.wall_ms = timer.ElapsedMillis();
+      cell.scoring = StatsDelta(GlobalScoringStats(), before);
+      cell.instances = std::move(records.value());
+      cell.aggregate = ReduceInstances(entry.name, cell.instances);
+      out.cells.push_back(std::move(cell));
+    }
+  }
+  return out;
+}
+
+Result<ExperimentResult> ExperimentRunner::Run() const {
+  std::vector<PreparedDataset> prepared;
+  prepared.reserve(spec_.datasets.size());
+  for (const BenchmarkEntry& entry : spec_.datasets) {
+    auto p = PrepareDataset(entry, spec_);
+    if (!p.ok()) return p.status();
+    prepared.push_back(std::move(p.value()));
+  }
+  return RunPrepared(prepared);
+}
+
+}  // namespace crew

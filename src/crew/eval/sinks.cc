@@ -1,0 +1,210 @@
+#include "crew/eval/sinks.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "crew/explain/serialize.h"
+
+namespace crew {
+
+TableColumn AggColumn(std::string header, double ExplainerAggregate::*field,
+                      int precision) {
+  return {std::move(header), [field, precision](const ExperimentCell& cell) {
+            return Table::Num(cell.aggregate.*field, precision);
+          }};
+}
+
+TableColumn MetricColumn(std::string header, std::string key, int precision) {
+  return {std::move(header),
+          [key = std::move(key), precision](const ExperimentCell& cell) {
+            for (const auto& [k, v] : cell.metrics) {
+              if (k == key) return Table::Num(v, precision);
+            }
+            return std::string("-");
+          }};
+}
+
+TableColumn NoteColumn(std::string header, std::string key) {
+  return {std::move(header), [key = std::move(key)](const ExperimentCell& cell) {
+            for (const auto& [k, v] : cell.notes) {
+              if (k == key) return v;
+            }
+            return std::string("-");
+          }};
+}
+
+Table MakeCellTable(const std::vector<ExperimentCell>& cells,
+                    const std::vector<TableColumn>& columns,
+                    bool dataset_column, bool variant_column) {
+  std::vector<std::string> headers;
+  if (dataset_column) headers.push_back("dataset");
+  if (variant_column) headers.push_back("variant");
+  for (const TableColumn& c : columns) headers.push_back(c.header);
+  Table table(std::move(headers));
+  for (const ExperimentCell& cell : cells) {
+    std::vector<std::string> row;
+    if (dataset_column) row.push_back(cell.dataset);
+    if (variant_column) row.push_back(cell.variant);
+    for (const TableColumn& c : columns) row.push_back(c.format(cell));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+Status TableSink::Consume(const ExperimentResult& result) {
+  const Table table =
+      MakeCellTable(result.cells, columns_, dataset_column_, variant_column_);
+  std::fprintf(out_, "%s\n", table.ToAligned().c_str());
+  return Status::Ok();
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly; non-finite values (which JSON cannot
+// represent) degrade to null.
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonStr(const std::string& s) {
+  std::string out;
+  out += '"';
+  out += JsonEscape(s);
+  out += '"';
+  return out;
+}
+
+void AppendAggregate(const ExplainerAggregate& agg, std::string* out) {
+  *out += "{";
+  *out += "\"instances\":" + std::to_string(agg.instances);
+  *out += ",\"aopc\":" + JsonNum(agg.aopc);
+  *out += ",\"comprehensiveness_at_1\":" + JsonNum(agg.comprehensiveness_at_1);
+  *out += ",\"comprehensiveness_at_3\":" + JsonNum(agg.comprehensiveness_at_3);
+  *out += ",\"sufficiency_at_1\":" + JsonNum(agg.sufficiency_at_1);
+  *out += ",\"sufficiency_at_3\":" + JsonNum(agg.sufficiency_at_3);
+  *out += ",\"comprehensiveness_budget5\":" +
+          JsonNum(agg.comprehensiveness_budget5);
+  *out += ",\"decision_flip_rate\":" + JsonNum(agg.decision_flip_rate);
+  *out += ",\"insertion_aopc\":" + JsonNum(agg.insertion_aopc);
+  *out += ",\"flip_set_rate\":" + JsonNum(agg.flip_set_rate);
+  *out += ",\"flip_set_units\":" + JsonNum(agg.flip_set_units);
+  *out += ",\"flip_set_tokens\":" + JsonNum(agg.flip_set_tokens);
+  *out += ",\"total_units\":" + JsonNum(agg.total_units);
+  *out += ",\"effective_units\":" + JsonNum(agg.effective_units);
+  *out += ",\"words_per_unit\":" + JsonNum(agg.words_per_unit);
+  *out += ",\"semantic_coherence\":" + JsonNum(agg.semantic_coherence);
+  *out += ",\"attribute_purity\":" + JsonNum(agg.attribute_purity);
+  *out += ",\"cluster_coherence\":" + JsonNum(agg.cluster_coherence);
+  *out += ",\"cluster_silhouette\":" + JsonNum(agg.cluster_silhouette);
+  *out += ",\"mean_chosen_k\":" + JsonNum(agg.mean_chosen_k);
+  *out += ",\"stability\":" + JsonNum(agg.stability);
+  *out += ",\"surrogate_r2\":" + JsonNum(agg.surrogate_r2);
+  *out += ",\"runtime_ms\":" + JsonNum(agg.runtime_ms);
+  *out += "}";
+}
+
+void AppendCell(const ExperimentCell& cell, std::string* out) {
+  *out += "{\"dataset\":" + JsonStr(cell.dataset);
+  *out += ",\"variant\":" + JsonStr(cell.variant);
+  if (!cell.instances.empty()) {
+    *out += ",\"aggregate\":";
+    AppendAggregate(cell.aggregate, out);
+    *out += ",\"per_instance_aopc\":[";
+    bool first = true;
+    for (const InstanceEvaluation& r : cell.instances) {
+      if (!r.evaluated) continue;
+      if (!first) *out += ",";
+      first = false;
+      *out += JsonNum(r.aopc);
+    }
+    *out += "]";
+    bool any_curve = false;
+    for (const InstanceEvaluation& r : cell.instances) {
+      if (r.evaluated && !r.curve.empty()) {
+        any_curve = true;
+        break;
+      }
+    }
+    if (any_curve) {
+      *out += ",\"per_instance_curve\":[";
+      bool first_row = true;
+      for (const InstanceEvaluation& r : cell.instances) {
+        if (!r.evaluated || r.curve.empty()) continue;
+        if (!first_row) *out += ",";
+        first_row = false;
+        *out += "[";
+        for (size_t i = 0; i < r.curve.size(); ++i) {
+          if (i > 0) *out += ",";
+          *out += JsonNum(r.curve[i]);
+        }
+        *out += "]";
+      }
+      *out += "]";
+    }
+  }
+  *out += ",\"scoring\":{\"predictions\":" +
+          std::to_string(cell.scoring.predictions) +
+          ",\"batches\":" + std::to_string(cell.scoring.batches) +
+          ",\"materialize_ms\":" + JsonNum(cell.scoring.materialize_ms) +
+          ",\"predict_ms\":" + JsonNum(cell.scoring.predict_ms) + "}";
+  *out += ",\"wall_ms\":" + JsonNum(cell.wall_ms);
+  if (!cell.metrics.empty()) {
+    *out += ",\"metrics\":{";
+    for (size_t i = 0; i < cell.metrics.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += JsonStr(cell.metrics[i].first) + ":" +
+              JsonNum(cell.metrics[i].second);
+    }
+    *out += "}";
+  }
+  if (!cell.notes.empty()) {
+    *out += ",\"notes\":{";
+    for (size_t i = 0; i < cell.notes.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += JsonStr(cell.notes[i].first) + ":" +
+              JsonStr(cell.notes[i].second);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string ExperimentResultToJson(const ExperimentResult& result) {
+  std::string out = "{\"experiment\":" + JsonStr(result.name);
+  out += ",\"params\":{";
+  for (size_t i = 0; i < result.params.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonStr(result.params[i].first) + ":" +
+           JsonStr(result.params[i].second);
+  }
+  out += "},\"cells\":[";
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendCell(result.cells[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteExperimentJson(const ExperimentResult& result,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const std::string json = ExperimentResultToJson(result);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != json.size() || !flushed) {
+    return Status::DataLoss("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace crew

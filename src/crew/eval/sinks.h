@@ -1,0 +1,91 @@
+#ifndef CREW_EVAL_SINKS_H_
+#define CREW_EVAL_SINKS_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "crew/eval/runner.h"
+#include "crew/eval/table.h"
+
+namespace crew {
+
+/// Structured consumer of an ExperimentResult. Experiments produce one
+/// result and hand it to any number of sinks (console table, JSON file,
+/// ...), replacing the hand-rolled accumulation + printf each bench used
+/// to carry.
+class ExperimentSink {
+ public:
+  virtual ~ExperimentSink() = default;
+  virtual Status Consume(const ExperimentResult& result) = 0;
+};
+
+/// One table column: a header plus a formatter over a cell.
+struct TableColumn {
+  std::string header;
+  std::function<std::string(const ExperimentCell&)> format;
+};
+
+/// Column reading a numeric ExplainerAggregate field.
+TableColumn AggColumn(std::string header, double ExplainerAggregate::*field,
+                      int precision = 3);
+
+/// Column reading a named value from ExperimentCell::metrics.
+TableColumn MetricColumn(std::string header, std::string key,
+                         int precision = 3);
+
+/// Column reading a named value from ExperimentCell::notes.
+TableColumn NoteColumn(std::string header, std::string key);
+
+/// Builds the aligned table for `cells` with a leading dataset and/or
+/// variant column.
+Table MakeCellTable(const std::vector<ExperimentCell>& cells,
+                    const std::vector<TableColumn>& columns,
+                    bool dataset_column = true, bool variant_column = true);
+
+/// Prints the cell grid as an aligned table.
+class TableSink : public ExperimentSink {
+ public:
+  explicit TableSink(std::vector<TableColumn> columns,
+                     bool dataset_column = true, bool variant_column = true,
+                     std::FILE* out = stdout)
+      : columns_(std::move(columns)), dataset_column_(dataset_column),
+        variant_column_(variant_column), out_(out) {}
+
+  Status Consume(const ExperimentResult& result) override;
+
+ private:
+  std::vector<TableColumn> columns_;
+  bool dataset_column_;
+  bool variant_column_;
+  std::FILE* out_;
+};
+
+/// Serializes the full result (params, every aggregate field, per-instance
+/// AOPC samples, scoring counters, extra metrics/notes) as one
+/// self-describing JSON document — the machine-readable record each bench
+/// emits via --json so perf/quality trajectories can be captured
+/// mechanically.
+std::string ExperimentResultToJson(const ExperimentResult& result);
+
+/// Writes ExperimentResultToJson to `path`.
+Status WriteExperimentJson(const ExperimentResult& result,
+                           const std::string& path);
+
+/// File-writing sink over WriteExperimentJson.
+class JsonSink : public ExperimentSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+
+  Status Consume(const ExperimentResult& result) override {
+    return WriteExperimentJson(result, path_);
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_EVAL_SINKS_H_

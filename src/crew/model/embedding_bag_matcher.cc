@@ -9,6 +9,24 @@
 namespace crew {
 namespace {
 
+// Resolves tokens to embedding rows through the scratch's persistent
+// cache; each distinct token hits the vocabulary hash at most once per
+// scratch lifetime (i.e. once per perturbation batch).
+void ResolveIds(const EmbeddingStore& embeddings,
+                const std::vector<std::string>& tokens,
+                std::unordered_map<std::string, int>* cache,
+                std::vector<int>* ids) {
+  ids->clear();
+  ids->reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    auto it = cache->find(tok);
+    if (it == cache->end()) {
+      it = cache->emplace(tok, embeddings.TokenId(tok)).first;
+    }
+    ids->push_back(it->second);
+  }
+}
+
 void EncodePairInto(const Schema& schema, const EmbeddingStore& embeddings,
                     const Tokenizer& tokenizer, const RecordPair& pair,
                     EmbeddingBagMatcher::EncodeScratch* scratch, la::Vec* out) {
@@ -18,13 +36,17 @@ void EncodePairInto(const Schema& schema, const EmbeddingStore& embeddings,
   x.reserve(static_cast<size_t>(schema.size()) * (2 * dim + 2));
   std::vector<std::string>& left_tokens = scratch->left_tokens;
   std::vector<std::string>& right_tokens = scratch->right_tokens;
+  std::vector<int>& left_ids = scratch->left_ids;
+  std::vector<int>& right_ids = scratch->right_ids;
   la::Vec& l = scratch->left_mean;
   la::Vec& r = scratch->right_mean;
   for (int a = 0; a < schema.size(); ++a) {
     tokenizer.TokenizeInto(pair.left.values[a], &left_tokens);
     tokenizer.TokenizeInto(pair.right.values[a], &right_tokens);
-    embeddings.MeanVectorInto(left_tokens, &l);
-    embeddings.MeanVectorInto(right_tokens, &r);
+    ResolveIds(embeddings, left_tokens, &scratch->token_ids, &left_ids);
+    ResolveIds(embeddings, right_tokens, &scratch->token_ids, &right_ids);
+    embeddings.MeanVectorOfIdsInto(left_ids, &l);
+    embeddings.MeanVectorOfIdsInto(right_ids, &r);
     for (int c = 0; c < dim; ++c) x.push_back(std::fabs(l[c] - r[c]));
     for (int c = 0; c < dim; ++c) x.push_back(l[c] * r[c]);
     // Two scalar interactions that sharpen the blurry mean-pooled signal:
@@ -34,10 +56,21 @@ void EncodePairInto(const Schema& schema, const EmbeddingStore& embeddings,
     double aligned = 0.0;
     if (!left_tokens.empty() && !right_tokens.empty()) {
       int hits = 0;
-      for (const auto& lt : left_tokens) {
+      for (size_t li = 0; li < left_ids.size(); ++li) {
         double best = -1.0;
-        for (const auto& rt : right_tokens) {
-          best = std::max(best, lt == rt ? 1.0 : embeddings.Similarity(lt, rt));
+        for (size_t ri = 0; ri < right_ids.size(); ++ri) {
+          double sim;
+          if (left_ids[li] >= 0 && right_ids[ri] >= 0) {
+            // In-vocabulary: equal ids <=> equal tokens.
+            sim = left_ids[li] == right_ids[ri]
+                      ? 1.0
+                      : embeddings.SimilarityById(left_ids[li], right_ids[ri]);
+          } else {
+            // OOV on either side: Similarity would return 0, so only the
+            // exact-string match can score.
+            sim = left_tokens[li] == right_tokens[ri] ? 1.0 : 0.0;
+          }
+          best = std::max(best, sim);
         }
         if (best > 0.95) ++hits;
       }
@@ -72,9 +105,12 @@ Result<std::unique_ptr<EmbeddingBagMatcher>> EmbeddingBagMatcher::Train(
   const Schema& schema = train.schema();
   std::vector<la::Vec> rows;
   std::vector<int> labels;
+  EmbeddingBagMatcher::EncodeScratch scratch;
+  la::Vec encoded;
   for (const auto& pair : train.pairs()) {
     if (pair.label != 0 && pair.label != 1) continue;
-    rows.push_back(EncodePair(schema, *embeddings, tokenizer, pair));
+    EncodePairInto(schema, *embeddings, tokenizer, pair, &scratch, &encoded);
+    rows.push_back(encoded);
     labels.push_back(pair.label);
   }
   if (rows.empty()) {

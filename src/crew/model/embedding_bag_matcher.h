@@ -2,6 +2,9 @@
 #define CREW_MODEL_EMBEDDING_BAG_MATCHER_H_
 
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "crew/common/status.h"
 #include "crew/data/dataset.h"
@@ -42,9 +45,15 @@ class EmbeddingBagMatcher : public Matcher {
   double threshold() const override { return threshold_; }
   std::string Name() const override { return "embedding_bag"; }
 
-  /// Reusable buffers for EncodeInto (see PairFeaturizer::Scratch).
+  /// Reusable buffers for EncodeInto (see PairFeaturizer::Scratch). The
+  /// token -> embedding-row cache persists across the scratch's lifetime:
+  /// a perturbation batch re-encodes hundreds of variants of one pair, so
+  /// after the first variant almost every token resolves from the cache
+  /// and the aligned-fraction loop runs on ids (no hashing) only.
   struct EncodeScratch {
     std::vector<std::string> left_tokens, right_tokens;
+    std::vector<int> left_ids, right_ids;
+    std::unordered_map<std::string, int> token_ids;
     la::Vec left_mean, right_mean;
   };
 

@@ -69,6 +69,47 @@ TEST(SelectExplainInstancesTest, CapsAtDatasetSize) {
   EXPECT_EQ(static_cast<int>(idx.size()), dataset.size());
 }
 
+TEST(SelectExplainInstancesTest, BackfillsFromMatchesWhenNonmatchesRunShort) {
+  // All pairs predicted match: the non-match side is empty, so after the
+  // balanced half-draw the match side must top the selection up to n (the
+  // historical implementation only backfilled in one direction and could
+  // silently return fewer than n here).
+  const Dataset dataset = SmallDataset();
+  TokenWeightMatcher all_match({}, /*bias=*/5.0);
+  Rng rng(3);
+  const auto idx = SelectExplainInstances(all_match, dataset, 12, rng);
+  EXPECT_EQ(idx.size(), 12u);
+  std::set<int> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(SelectExplainInstancesTest, BackfillsFromNonmatchesWhenMatchesRunShort) {
+  const Dataset dataset = SmallDataset();
+  TokenWeightMatcher all_nonmatch({}, /*bias=*/-5.0);
+  Rng rng(3);
+  const auto idx = SelectExplainInstances(all_nonmatch, dataset, 12, rng);
+  EXPECT_EQ(idx.size(), 12u);
+  std::set<int> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(SelectExplainInstancesTest, BalancedWhenBothSidesAmple) {
+  const Dataset dataset = SmallDataset();
+  // Real split: some pairs contain the decisive tokens, some do not.
+  TokenWeightMatcher matcher({{"vortexa", 1.0}, {"lumenix", 0.7}}, -0.2);
+  Rng rng(3);
+  const int n = 8;
+  const auto idx = SelectExplainInstances(matcher, dataset, n, rng);
+  ASSERT_EQ(idx.size(), static_cast<size_t>(n));
+  int matches = 0;
+  for (int i : idx) {
+    if (matcher.Predict(dataset.pair(i)) == 1) ++matches;
+  }
+  // When both prediction classes have at least n/2 members the draw is
+  // exactly half and half.
+  EXPECT_EQ(matches, n / 2);
+}
+
 TEST(ExplainAsUnitsTest, CrewYieldsClustersOthersSingletons) {
   const Dataset support = SmallDataset();
   ExplainerSuiteConfig config;

@@ -82,6 +82,31 @@ TEST(ParallelForTest, ChunkingIsDeterministic) {
   EXPECT_EQ(collect(), collect());
 }
 
+TEST(ParallelForTest, NestedCallRunsInlineWithoutDeadlock) {
+  // Instance sharding composes with perturbation scoring on the SAME pool:
+  // a ParallelFor issued from inside a chunk must run inline on the
+  // issuing thread rather than re-entering the pool (which could deadlock
+  // with every worker blocked waiting for its own nested chunks).
+  ThreadPool pool(2);
+  EXPECT_FALSE(InParallelRegion());
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, 8, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      EXPECT_TRUE(InParallelRegion());
+      const auto outer_thread = std::this_thread::get_id();
+      ParallelFor(&pool, 8, [&, outer_thread](int ib, int ie) {
+        EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+        for (int j = ib; j < ie; ++j) hits[i * 8 + j].fetch_add(1);
+      });
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
 TEST(ScoringThreadsTest, ResolvesZeroToHardware) {
   SetScoringThreads(0);
   EXPECT_EQ(ScoringThreads(), HardwareThreads());
