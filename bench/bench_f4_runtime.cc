@@ -6,14 +6,43 @@
 // reports mean milliseconds per explanation, plus the batch scoring
 // engine's per-cell counters (predictions issued, batches dispatched, time
 // spent materializing vs predicting) that the runner attributes to every
-// cell.
+// cell. wall-ms vs cpu-ms contrasts elapsed instance time with the CPU
+// time actually burned (cpu >> wall signals parallel speedup; wall >> cpu
+// signals oversubscription or blocking).
+//
+// Extra flags: --sweep=32,64,128 overrides the budget list (CI smoke runs
+// use a single small budget); --metrics / --trace / --progress as in every
+// bench.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "crew/common/string_util.h"
+
+namespace {
+
+std::vector<int> ParseSweep(const std::string& arg) {
+  std::vector<int> out;
+  for (const std::string& part : crew::Split(arg, ',')) {
+    const int v = std::atoi(part.c_str());
+    if (v > 0) out.push_back(v);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bad --sweep list: %s\n", arg.c_str());
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  crew::FlagParser flags(argc, argv);
   auto options = crew::bench::BenchOptions::Parse(argc, argv);
+  const std::vector<int> sweep =
+      ParseSweep(flags.GetString("sweep", "32,64,128,256,512,1024"));
   if (options.dataset.empty()) {
     options.dataset = "products-structured";  // one dataset suffices here
   }
@@ -31,7 +60,7 @@ int main(int argc, char** argv) {
 
   crew::ExperimentResult result;
   result.name = base_spec.name;
-  for (int samples : {32, 64, 128, 256, 512, 1024}) {
+  for (int samples : sweep) {
     auto spec = base_spec;
     spec.suite = [samples](const crew::TrainedPipeline& pipeline) {
       crew::ExplainerSuiteConfig config;
@@ -70,10 +99,13 @@ int main(int argc, char** argv) {
        {"pred-ms",
         [](const crew::ExperimentCell& cell) {
           return crew::Table::Num(cell.scoring.predict_ms, 1);
-        }}},
+        }},
+       crew::RegistryMsColumn("wall-ms", "crew/runner/instance", 1),
+       crew::RegistryMsColumn("cpu-ms", "crew/runner/instance_cpu", 1)},
       /*dataset_column=*/false, /*variant_column=*/true);
   std::printf(
       "(ms/explanation is the explainer's self-reported runtime; scoring "
-      "columns include the evaluation metrics' matcher calls)\n");
+      "columns include the evaluation metrics' matcher calls; wall-ms/cpu-ms "
+      "sum per-instance elapsed vs thread-CPU time)\n");
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "crew/common/flags.h"
 #include "crew/common/thread_pool.h"
+#include "crew/common/trace.h"
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/experiment.h"
 #include "crew/eval/runner.h"
@@ -30,6 +31,9 @@ struct BenchOptions {
   std::string dataset;   ///< empty = all nine
   int threads = 0;       ///< scoring threads; 0 = hardware, 1 = legacy serial
   std::string json;      ///< non-empty: also write the ExperimentResult here
+  std::string trace;     ///< non-empty: record spans, write Chrome trace here
+  bool metrics = false;  ///< emit the per-cell metrics-registry breakdown
+  double progress = 1.0; ///< seconds between progress heartbeats; <=0 = off
 
   static BenchOptions Parse(int argc, char** argv) {
     FlagParser flags(argc, argv);
@@ -47,7 +51,12 @@ struct BenchOptions {
     o.dataset = flags.GetString("dataset", o.dataset);
     o.threads = flags.GetInt("threads", o.threads);
     o.json = flags.GetString("json", o.json);
+    o.trace = flags.GetString("trace", o.trace);
+    o.metrics = flags.GetBool("metrics", o.metrics);
+    o.progress = flags.GetDouble("progress", o.progress);
     SetScoringThreads(o.threads);
+    SetProgressInterval(o.progress);
+    SetTracingEnabled(!o.trace.empty());
     return o;
   }
 
@@ -100,28 +109,57 @@ inline ExperimentSpec SpecFromOptions(std::string name,
   return spec;
 }
 
+/// Writes the Chrome trace when --trace=<file> was given. Runs after the
+/// tables so the trace covers the full experiment.
+inline void EmitTraceIfRequested(const BenchOptions& options) {
+  if (options.trace.empty()) return;
+  const size_t events = CollectTraceEvents().size();
+  DieIfError(WriteChromeTrace(options.trace));
+  std::printf("wrote %s (%zu trace events, %lld overwritten)\n",
+              options.trace.c_str(), events,
+              static_cast<long long>(TraceDroppedEvents()));
+}
+
 /// Standard emit path of every bench: print the cell grid as an aligned
-/// table and honour --json.
-inline void EmitExperiment(const ExperimentResult& result,
+/// table and honour --json / --metrics / --trace. Takes the result by
+/// mutable reference to stamp include_metrics before the sinks read it.
+inline void EmitExperiment(ExperimentResult& result,
                            const BenchOptions& options,
                            std::vector<TableColumn> columns,
                            bool dataset_column = true,
                            bool variant_column = true) {
+  result.include_metrics = options.metrics;
   TableSink table(std::move(columns), dataset_column, variant_column);
   DieIfError(table.Consume(result));
   if (!options.json.empty()) {
     DieIfError(WriteExperimentJson(result, options.json));
     std::printf("wrote %s\n", options.json.c_str());
   }
+  EmitTraceIfRequested(options);
 }
 
-/// Emit path for benches that already printed custom tables: only the
-/// --json leg.
-inline void EmitJsonIfRequested(const ExperimentResult& result,
+/// Emit path for benches that already printed custom tables: the --json /
+/// --metrics / --trace legs only.
+inline void EmitJsonIfRequested(ExperimentResult& result,
                                 const BenchOptions& options) {
-  if (options.json.empty()) return;
-  DieIfError(WriteExperimentJson(result, options.json));
-  std::printf("wrote %s\n", options.json.c_str());
+  result.include_metrics = options.metrics;
+  if (options.metrics) {
+    std::vector<MetricsSnapshot> deltas;
+    deltas.reserve(result.cells.size());
+    for (const ExperimentCell& cell : result.cells) {
+      deltas.push_back(cell.registry);
+    }
+    const MetricsSnapshot total = MetricsSum(deltas);
+    if (!total.empty()) {
+      std::printf("-- metrics (summed over cells) --\n%s\n",
+                  MetricsSnapshotTable(total).ToAligned().c_str());
+    }
+  }
+  if (!options.json.empty()) {
+    DieIfError(WriteExperimentJson(result, options.json));
+    std::printf("wrote %s\n", options.json.c_str());
+  }
+  EmitTraceIfRequested(options);
 }
 
 }  // namespace crew::bench

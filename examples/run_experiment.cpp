@@ -7,9 +7,11 @@
 // carry their own seeds and the reduction runs in index order, so the
 // thread count only changes the wall clock.
 //
-//   ./examples/run_experiment [--datasets products-structured,bibliographic-structured]
+//   ./examples/run_experiment [--datasets products-structured,biblio-structured]
 //                             [--instances 8] [--samples 64] [--threads 4]
 //                             [--json result.json] [--seed 7]
+//                             [--trace trace.json] [--metrics]
+//                             [--progress 1.0]
 
 #include <cstdio>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "crew/common/flags.h"
 #include "crew/common/thread_pool.h"
+#include "crew/common/trace.h"
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/runner.h"
 #include "crew/eval/sinks.h"
@@ -30,13 +33,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string datasets =
-      flags.GetString("datasets", "products-structured,bibliographic-structured");
+      flags.GetString("datasets", "products-structured,biblio-structured");
   const int instances = static_cast<int>(flags.GetUint64("instances", 8));
   const int samples = static_cast<int>(flags.GetUint64("samples", 64));
   const int threads = static_cast<int>(flags.GetUint64("threads", 4));
   const std::string json = flags.GetString("json", "");
   const uint64_t seed = flags.GetUint64("seed", 7);
+  const std::string trace = flags.GetString("trace", "");
+  const bool metrics = flags.GetBool("metrics", false);
+  const double progress = flags.GetDouble("progress", 1.0);
   crew::SetScoringThreads(threads);
+  crew::SetProgressInterval(progress);
+  crew::SetTracingEnabled(!trace.empty());
 
   // 1. Declare the grid: datasets x matcher x explainer suite.
   crew::ExperimentSpec spec;
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
   }
 
   // 3. Emit through sinks: console table, then JSON if asked.
+  result.value().include_metrics = metrics;
   crew::TableSink table({
       crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),
       crew::AggColumn("compr@3", &crew::ExplainerAggregate::comprehensiveness_at_3),
@@ -98,6 +107,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", json.c_str());
+  }
+  if (!trace.empty()) {
+    if (auto status = crew::WriteChromeTrace(trace); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                trace.c_str());
   }
   return 0;
 }

@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#include "crew/common/string_util.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 namespace {
-
-LogSeverity g_min_severity = LogSeverity::kInfo;
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -22,10 +24,40 @@ const char* SeverityTag(LogSeverity s) {
   return "?";
 }
 
+// Startup default honors CREW_MIN_LOG_LEVEL so a noisy run can be quieted
+// (or a silent one made verbose) without recompiling or plumbing a flag.
+LogSeverity g_min_severity =
+    ParseLogSeverity(std::getenv("CREW_MIN_LOG_LEVEL"), LogSeverity::kInfo);
+
+// "2026-08-05 12:34:56.789" in local time.
+void FormatWallClock(char* buf, size_t size) {
+  timespec ts;
+  if (clock_gettime(CLOCK_REALTIME, &ts) != 0) {
+    std::snprintf(buf, size, "?");
+    return;
+  }
+  tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  const size_t n = strftime(buf, size, "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(buf + n, size - n, ".%03ld", ts.tv_nsec / 1000000);
+}
+
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 LogSeverity MinLogSeverity() { return g_min_severity; }
+
+LogSeverity ParseLogSeverity(const char* value, LogSeverity fallback) {
+  if (value == nullptr) return fallback;
+  const std::string v = AsciiLower(value);
+  if (v == "debug" || v == "d" || v == "0") return LogSeverity::kDebug;
+  if (v == "info" || v == "i" || v == "1") return LogSeverity::kInfo;
+  if (v == "warning" || v == "warn" || v == "w" || v == "2") {
+    return LogSeverity::kWarning;
+  }
+  if (v == "error" || v == "e" || v == "3") return LogSeverity::kError;
+  return fallback;
+}
 
 namespace internal_logging {
 
@@ -43,8 +75,12 @@ void LogMessage::Emit() {
   for (const char* p = file_; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), base, line_,
-               stream_.str().c_str());
+  char when[40];
+  FormatWallClock(when, sizeof(when));
+  // The t<N> id matches CurrentThreadId() stamped on trace events, so a
+  // log line can be correlated with the span that was open when it fired.
+  std::fprintf(stderr, "[%s %s t%d %s:%d] %s\n", SeverityTag(severity_), when,
+               CurrentThreadId(), base, line_, stream_.str().c_str());
 }
 
 FatalLogMessage::~FatalLogMessage() {

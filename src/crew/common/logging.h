@@ -8,9 +8,16 @@ namespace crew {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum severity that is actually emitted (default: kInfo).
+/// Sets the minimum severity that is actually emitted. The startup default
+/// is kInfo, overridable with the CREW_MIN_LOG_LEVEL environment variable
+/// (read once at process start; see ParseLogSeverity for accepted values).
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+/// Parses a severity name: "debug"/"d"/"0", "info"/"i"/"1",
+/// "warning"/"warn"/"w"/"2", "error"/"e"/"3" (case-insensitive). Returns
+/// `fallback` for nullptr or unrecognized input.
+LogSeverity ParseLogSeverity(const char* value, LogSeverity fallback);
 
 namespace internal_logging {
 

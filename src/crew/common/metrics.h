@@ -1,0 +1,167 @@
+#ifndef CREW_COMMON_METRICS_H_
+#define CREW_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crew/common/timer.h"
+
+namespace crew {
+
+/// Process-wide registry of named monotonic counters, duration
+/// accumulators, and power-of-two histograms.
+///
+/// Writes go to thread-local shards (one relaxed atomic add, no
+/// contention); Snapshot() aggregates every shard under the registry lock.
+/// Reset() is an atomic epoch: it captures the delta since the previous
+/// epoch and rebases the baseline in one critical section, so concurrent
+/// writers can never be "torn" between a reset and a snapshot — an
+/// increment lands either before the epoch (in the returned snapshot) or
+/// after it (in the next one), never in neither.
+///
+/// Metrics are observation-only by contract: nothing in the library may
+/// branch on a metric value, so recording them can never change an
+/// experiment number.
+enum class MetricKind { kCounter, kDuration, kHistogram };
+
+/// One named value in a snapshot. Durations carry both the number of timed
+/// segments (`count`) and their summed wall time (`total_ms`); histogram
+/// buckets are plain counts with the bucket bound baked into the name.
+struct MetricEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t count = 0;
+  double total_ms = 0.0;
+};
+
+/// Snapshot = entries sorted by name (deterministic, so JSON output that
+/// serializes a snapshot is stable across runs).
+using MetricsSnapshot = std::vector<MetricEntry>;
+
+/// Handle to a named monotonic counter. Obtained once (cheap to cache in a
+/// function-local static), then Add() is a single relaxed atomic add into
+/// the calling thread's shard.
+class Counter {
+ public:
+  void Add(std::int64_t delta);
+  void Increment() { Add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(int slot) : slot_(slot) {}
+  int slot_;
+};
+
+/// Handle to a named duration accumulator: total wall time plus the number
+/// of timed segments that contributed to it.
+class DurationStat {
+ public:
+  void Add(double seconds);
+
+ private:
+  friend class MetricsRegistry;
+  explicit DurationStat(int slot) : slot_(slot) {}
+  int slot_;  // slot_ = segment count, slot_ + 1 = summed nanoseconds
+};
+
+/// Handle to a power-of-two histogram (bounds 1, 2, 4, ..., 1024, +inf).
+/// Snapshots expand it into one `<name>/le_XXXX` counter per bucket; the
+/// bucket set is fixed, so snapshot shape never depends on the data.
+class Histogram {
+ public:
+  static constexpr int kNumBounds = 11;  // le_0001 .. le_1024
+  static constexpr int kNumBuckets = kNumBounds + 1;  // + overflow
+
+  void Observe(std::int64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(int slot) : slot_(slot) {}
+  int slot_;
+};
+
+/// RAII wall-clock scope recorded into a DurationStat on destruction.
+class ScopedDuration {
+ public:
+  explicit ScopedDuration(DurationStat* stat) : stat_(stat) {}
+  ~ScopedDuration() { stat_->Add(timer_.ElapsedSeconds()); }
+  ScopedDuration(const ScopedDuration&) = delete;
+  ScopedDuration& operator=(const ScopedDuration&) = delete;
+
+ private:
+  DurationStat* stat_;
+  WallTimer timer_;
+};
+
+/// RAII per-thread CPU-clock scope (see CpuTimer); pairs with a wall-clock
+/// ScopedDuration to expose oversubscription (cpu >> wall x cores).
+class ScopedCpuDuration {
+ public:
+  explicit ScopedCpuDuration(DurationStat* stat) : stat_(stat) {}
+  ~ScopedCpuDuration() { stat_->Add(timer_.ElapsedSeconds()); }
+  ScopedCpuDuration(const ScopedCpuDuration&) = delete;
+  ScopedCpuDuration& operator=(const ScopedCpuDuration&) = delete;
+
+ private:
+  DurationStat* stat_;
+  CpuTimer timer_;
+};
+
+/// The singleton registry. Handles are interned by name and live for the
+/// process lifetime; getting the same name twice returns the same handle.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  DurationStat* GetDuration(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All registered metrics, summed across every thread's shard, relative
+  /// to the current epoch baseline. Sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Atomic capture-and-rebase: returns Snapshot() and makes the current
+  /// totals the new baseline in one critical section.
+  MetricsSnapshot Reset();
+
+ private:
+  MetricsRegistry() = default;
+};
+
+/// First entry with `name`, or nullptr. Snapshot is sorted, but a linear
+/// scan is fine at snapshot sizes.
+const MetricEntry* FindMetric(const MetricsSnapshot& snapshot,
+                              std::string_view name);
+
+/// Entry-wise `after - before`, matched by name. Entries present only in
+/// `after` (registered mid-interval) keep their full value; entries only in
+/// `before` are dropped (cannot happen for monotonic registration).
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& after,
+                             const MetricsSnapshot& before);
+
+/// Entry-wise sum of several snapshots, matched by name, sorted by name.
+MetricsSnapshot MetricsSum(const std::vector<MetricsSnapshot>& snapshots);
+
+/// Thread-local stage label used to attribute scoring cost to pipeline
+/// stages (the batch scoring engine splits its prediction counter by the
+/// stage active at the call). Defaults to "other".
+const char* CurrentMetricStage();
+
+/// RAII stage label. `stage` must outlive the scope (use string literals).
+class ScopedMetricStage {
+ public:
+  explicit ScopedMetricStage(const char* stage);
+  ~ScopedMetricStage();
+  ScopedMetricStage(const ScopedMetricStage&) = delete;
+  ScopedMetricStage& operator=(const ScopedMetricStage&) = delete;
+
+ private:
+  const char* saved_;
+};
+
+}  // namespace crew
+
+#endif  // CREW_COMMON_METRICS_H_

@@ -2,6 +2,8 @@
 #define CREW_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+#include <ctime>
 
 namespace crew {
 
@@ -22,6 +24,48 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Paired with a
+/// WallTimer it exposes oversubscription: summed CPU time across workers
+/// far above wall x cores means threads are fighting for the same cores.
+/// On platforms without a thread CPU clock every reading is 0 and
+/// Available() reports false.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart() { start_ns_ = NowNs(); }
+
+  /// CPU time consumed by the calling thread since construction / last
+  /// Restart, in seconds. Only meaningful when read from the thread that
+  /// restarted the timer.
+  double ElapsedSeconds() const {
+    return static_cast<double>(NowNs() - start_ns_) / 1e9;
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  static bool Available() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+ private:
+  static std::int64_t NowNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+#else
+    return 0;
+#endif
+  }
+
+  std::int64_t start_ns_ = 0;
 };
 
 }  // namespace crew

@@ -1,0 +1,101 @@
+#ifndef CREW_COMMON_TRACE_H_
+#define CREW_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crew/common/status.h"
+
+namespace crew {
+
+/// Lightweight tracing: RAII spans recorded into per-thread ring buffers,
+/// exportable as Chrome trace-event JSON (load the file in chrome://tracing
+/// or https://ui.perfetto.dev).
+///
+/// Tracing is disabled by default. A disabled CREW_TRACE_SPAN costs one
+/// relaxed atomic load and two pointer writes — cheap enough to leave in
+/// hot paths permanently. Spans are observation-only: enabling tracing
+/// must never change an experiment number (the determinism tests run with
+/// it on).
+///
+/// Each thread owns a fixed-capacity ring; once full, the oldest events
+/// are overwritten (TraceDroppedEvents() reports how many). Because spans
+/// close in LIFO order per thread, the surviving events always remain
+/// well-nested.
+
+/// Turns span recording on or off process-wide.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// One completed span. `name` points at the static string passed to the
+/// span macro; times are nanoseconds relative to the process trace epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  int tid = 0;
+};
+
+/// Copies every thread's ring, sorted by (tid, start, -dur) so parents
+/// precede their children.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Events overwritten by ring wrap-around since the last clear.
+std::int64_t TraceDroppedEvents();
+
+/// Drops all recorded events (ring heads reset, drop counter cleared).
+void ClearTraceEvents();
+
+/// Chrome trace-event JSON ("X" complete events with pid/tid/ts/dur/name).
+std::string TraceEventsToChromeJson(const std::vector<TraceEvent>& events);
+
+/// CollectTraceEvents + TraceEventsToChromeJson, written to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// Stable small 1-based id for the calling thread (also stamped on log
+/// lines, so logs and trace events can be correlated).
+int CurrentThreadId();
+
+namespace trace_internal {
+
+std::int64_t TraceNowNs();
+void PushTraceEvent(const char* name, std::int64_t start_ns,
+                    std::int64_t dur_ns);
+
+/// RAII span. Captures the enabled flag at open so a span that straddles a
+/// SetTracingEnabled toggle is either fully recorded or fully skipped.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = TraceNowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      PushTraceEvent(name_, start_ns_, TraceNowNs() - start_ns_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace trace_internal
+}  // namespace crew
+
+#define CREW_TRACE_CONCAT_INNER(a, b) a##b
+#define CREW_TRACE_CONCAT(a, b) CREW_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string with static lifetime (in practice: a literal).
+#define CREW_TRACE_SPAN(name)                                        \
+  ::crew::trace_internal::ScopedSpan CREW_TRACE_CONCAT(crew_span_,   \
+                                                       __LINE__)(name)
+
+#endif  // CREW_COMMON_TRACE_H_

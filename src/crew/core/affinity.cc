@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crew/common/trace.h"
 #include "crew/text/string_similarity.h"
 
 namespace crew {
@@ -10,6 +11,7 @@ namespace crew {
 la::Matrix BuildWordDistanceMatrix(
     const std::vector<WordAttribution>& attributions,
     const EmbeddingStore* embeddings, const AffinityWeights& weights) {
+  CREW_TRACE_SPAN("crew/affinity/matrix");
   const int n = static_cast<int>(attributions.size());
   la::Matrix dist(n, n);
   if (n == 0) return dist;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "crew/common/logging.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 
@@ -61,6 +62,7 @@ std::vector<int> Dendrogram::CutToClusters(int k) const {
 }
 
 Dendrogram AgglomerativeCluster(const la::Matrix& distance, Linkage linkage) {
+  CREW_TRACE_SPAN("crew/clustering/linkage");
   CREW_CHECK(distance.rows() == distance.cols());
   const int n = distance.rows();
   Dendrogram dendrogram;

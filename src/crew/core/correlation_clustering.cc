@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crew/common/rng.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 namespace {
@@ -96,6 +97,7 @@ int64_t CorrelationDisagreements(const la::Matrix& distance, double threshold,
 std::vector<int> CorrelationCluster(const la::Matrix& distance,
                                     const CorrelationClusteringConfig& config,
                                     uint64_t seed) {
+  CREW_TRACE_SPAN("crew/clustering/pivot");
   const int n = distance.rows();
   if (n == 0) return {};
   if (n == 1) return {0};

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "crew/common/metrics.h"
 #include "crew/common/string_util.h"
+#include "crew/common/trace.h"
 #include "crew/explain/batch_scorer.h"
 
 namespace crew {
@@ -11,6 +13,11 @@ namespace crew {
 Counterfactual GenerateCounterfactual(
     const Matcher& matcher, const PairTokenView& view,
     const std::vector<ExplanationUnit>& units, double base_score) {
+  CREW_TRACE_SPAN("crew/counterfactual");
+  ScopedMetricStage stage("counterfactual");
+  static DurationStat* timed_stat =
+      MetricsRegistry::Global().GetDuration("crew/stage/counterfactual");
+  ScopedDuration timed(timed_stat);
   Counterfactual out;
   out.original_score = base_score;
   if (units.empty()) return out;

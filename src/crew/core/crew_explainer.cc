@@ -3,11 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crew/common/metrics.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/core/silhouette.h"
 #include "crew/explain/batch_scorer.h"
 
 namespace crew {
+namespace {
+
+// Stage wall-clock accumulators, registered once. The per-stage duration
+// names here plus the scoring engine's materialize/predict durations form
+// the "where does an explanation go" breakdown surfaced by --metrics.
+struct CoreStageMetrics {
+  DurationStat* attribution;
+  DurationStat* affinity;
+  DurationStat* clustering;
+};
+
+CoreStageMetrics& CoreStages() {
+  static CoreStageMetrics* m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* s = new CoreStageMetrics();
+    s->attribution = reg.GetDuration("crew/stage/attribution");
+    s->affinity = reg.GetDuration("crew/stage/affinity");
+    s->clustering = reg.GetDuration("crew/stage/clustering");
+    return s;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 CrewExplainer::CrewExplainer(std::shared_ptr<const EmbeddingStore> embeddings,
                              CrewConfig config)
@@ -16,13 +42,19 @@ CrewExplainer::CrewExplainer(std::shared_ptr<const EmbeddingStore> embeddings,
 
 Result<ClusterExplanation> CrewExplainer::ExplainClusters(
     const Matcher& matcher, const RecordPair& pair, uint64_t seed) const {
+  CREW_TRACE_SPAN("crew/explain");
   WallTimer timer;
   ClusterExplanation out;
 
   // Stage 1: word importances.
-  auto words = importance_explainer_.Explain(matcher, pair, seed);
-  if (!words.ok()) return words.status();
-  out.words = std::move(words.value());
+  {
+    CREW_TRACE_SPAN("crew/attribution");
+    ScopedMetricStage stage("attribution");
+    ScopedDuration timed(CoreStages().attribution);
+    auto words = importance_explainer_.Explain(matcher, pair, seed);
+    if (!words.ok()) return words.status();
+    out.words = std::move(words.value());
+  }
   const int n = static_cast<int>(out.words.attributions.size());
   if (n == 0) {
     out.runtime_ms = timer.ElapsedMillis();
@@ -30,25 +62,38 @@ Result<ClusterExplanation> CrewExplainer::ExplainClusters(
   }
 
   // Stage 2: combined word distance from the three knowledge sources.
-  const la::Matrix distance = BuildWordDistanceMatrix(
-      out.words.attributions, embeddings_.get(), config_.affinity);
+  la::Matrix distance;
+  {
+    CREW_TRACE_SPAN("crew/affinity");
+    ScopedMetricStage stage("affinity");
+    ScopedDuration timed(CoreStages().affinity);
+    distance = BuildWordDistanceMatrix(out.words.attributions,
+                                       embeddings_.get(), config_.affinity);
+  }
 
   // Stage 3: clustering.
   std::vector<int> labels;
   int k = 0;
-  if (config_.backend == CrewConfig::Backend::kCorrelation) {
-    labels = CorrelationCluster(distance, config_.correlation, seed);
-    for (int l : labels) k = std::max(k, l + 1);
-  } else {
-    const Dendrogram dendrogram =
-        AgglomerativeCluster(distance, config_.linkage);
-    k = std::min(config_.max_clusters, n);
-    if (config_.auto_k && n > 2) {
-      k = ChooseKBySilhouette(distance, dendrogram, config_.min_clusters,
-                              std::min(config_.max_clusters, n));
+  {
+    CREW_TRACE_SPAN("crew/clustering");
+    ScopedMetricStage stage("clustering");
+    ScopedDuration timed(CoreStages().clustering);
+    if (config_.backend == CrewConfig::Backend::kCorrelation) {
+      CREW_TRACE_SPAN("crew/clustering/correlation");
+      labels = CorrelationCluster(distance, config_.correlation, seed);
+      for (int l : labels) k = std::max(k, l + 1);
+    } else {
+      CREW_TRACE_SPAN("crew/clustering/agglomerative");
+      const Dendrogram dendrogram =
+          AgglomerativeCluster(distance, config_.linkage);
+      k = std::min(config_.max_clusters, n);
+      if (config_.auto_k && n > 2) {
+        k = ChooseKBySilhouette(distance, dendrogram, config_.min_clusters,
+                                std::min(config_.max_clusters, n));
+      }
+      k = std::max(1, std::min(k, n));
+      labels = dendrogram.CutToClusters(k);
     }
-    k = std::max(1, std::min(k, n));
-    labels = dendrogram.CutToClusters(k);
   }
   out.chosen_k = k;
   out.silhouette = MeanSilhouette(distance, labels);
@@ -64,6 +109,9 @@ Result<ClusterExplanation> CrewExplainer::ExplainClusters(
   CREW_CHECK(view.size() == n);
   std::vector<double> without(k, 0.0);
   if (config_.rescore_clusters) {
+    CREW_TRACE_SPAN("crew/cluster_rescore");
+    ScopedMetricStage stage("attribution");
+    ScopedDuration timed(CoreStages().attribution);
     std::vector<std::vector<bool>> keeps(k);
     for (int c = 0; c < k; ++c) {
       keeps[c].assign(n, true);

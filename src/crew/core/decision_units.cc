@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "crew/common/metrics.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 #include "crew/text/string_similarity.h"
@@ -77,6 +79,11 @@ Result<std::pair<WordExplanation, std::vector<ExplanationUnit>>>
 DecisionUnitExplainer::ExplainUnits(const Matcher& matcher,
                                     const RecordPair& pair,
                                     uint64_t seed) const {
+  CREW_TRACE_SPAN("crew/decision_units");
+  ScopedMetricStage stage("decision_units");
+  static DurationStat* timed_stat =
+      MetricsRegistry::Global().GetDuration("crew/stage/decision_units");
+  ScopedDuration timed(timed_stat);
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

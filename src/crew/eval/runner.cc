@@ -1,58 +1,185 @@
 #include "crew/eval/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 #include <utility>
 
 #include "crew/common/logging.h"
+#include "crew/common/metrics.h"
 #include "crew/common/thread_pool.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/eval/comprehensibility.h"
 #include "crew/eval/stability.h"
 
 namespace crew {
+namespace {
+
+// Runner-level registry handles (interned once, leaked with the registry).
+struct RunnerMetrics {
+  Counter* instances;
+  DurationStat* instance_wall;
+  DurationStat* instance_cpu;
+};
+
+RunnerMetrics& Runner() {
+  static RunnerMetrics* m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* r = new RunnerMetrics();
+    r->instances = reg.GetCounter("crew/runner/instances");
+    r->instance_wall = reg.GetDuration("crew/runner/instance");
+    r->instance_cpu = reg.GetDuration("crew/runner/instance_cpu");
+    return r;
+  }();
+  return *m;
+}
+
+// --- Progress heartbeats ---------------------------------------------------
+
+std::atomic<double> g_progress_interval{1.0};
+
+std::mutex g_progress_label_mu;
+std::string& ProgressLabelLocked() {
+  static std::string* label = new std::string();
+  return *label;
+}
+
+std::string ProgressLabel() {
+  std::lock_guard<std::mutex> lock(g_progress_label_mu);
+  return ProgressLabelLocked();
+}
+
+std::int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Throttled live progress for one EvaluateInstances call. Tick() is called
+// once per finished instance from whichever worker finished it; emission is
+// rate-limited by ProgressInterval() and serialized through a CAS on the
+// last-emit timestamp. Purely observational: writes only to stderr.
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(int total)
+      : total_(total), start_ns_(MonotonicNowNs()), last_emit_ns_(start_ns_) {}
+
+  void Tick() {
+    const int done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const double interval = g_progress_interval.load(std::memory_order_relaxed);
+    if (interval <= 0.0) return;
+    const std::int64_t now = MonotonicNowNs();
+    std::int64_t last = last_emit_ns_.load(std::memory_order_relaxed);
+    const bool final_tick = done == total_;
+    if (!final_tick &&
+        static_cast<double>(now - last) < interval * 1e9) {
+      return;
+    }
+    // One emitter per interval; losers simply skip.
+    if (!last_emit_ns_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+      return;
+    }
+    // The final tick only reports when an earlier heartbeat already fired —
+    // fast cells stay silent instead of spamming one line per cell.
+    if (final_tick && !emitted_.load(std::memory_order_relaxed)) return;
+    emitted_.store(true, std::memory_order_relaxed);
+    const double elapsed_s =
+        static_cast<double>(now - start_ns_) / 1e9;
+    const double rate = elapsed_s > 0.0 ? done / elapsed_s : 0.0;
+    const std::string label = ProgressLabel();
+    std::fprintf(stderr, "[progress] %s%s%d/%d instances (%.1f/s)\n",
+                 label.c_str(), label.empty() ? "" : " ", done, total_, rate);
+  }
+
+ private:
+  const int total_;
+  const std::int64_t start_ns_;
+  std::atomic<int> done_{0};
+  std::atomic<std::int64_t> last_emit_ns_;
+  std::atomic<bool> emitted_{false};
+};
+
+}  // namespace
+
+void SetProgressInterval(double seconds) {
+  g_progress_interval.store(seconds, std::memory_order_relaxed);
+}
+
+double ProgressInterval() {
+  return g_progress_interval.load(std::memory_order_relaxed);
+}
+
+ScopedProgressLabel::ScopedProgressLabel(std::string label) {
+  std::lock_guard<std::mutex> lock(g_progress_label_mu);
+  saved_ = std::move(ProgressLabelLocked());
+  ProgressLabelLocked() = std::move(label);
+}
+
+ScopedProgressLabel::~ScopedProgressLabel() {
+  std::lock_guard<std::mutex> lock(g_progress_label_mu);
+  ProgressLabelLocked() = std::move(saved_);
+}
 
 Result<InstanceEvaluation> EvaluateInstance(
     const Explainer& explainer, const Matcher& matcher, const Dataset& test,
     int index, const EmbeddingStore* embeddings, uint64_t seed,
     const InstanceEvalOptions& options) {
+  CREW_TRACE_SPAN("runner/instance");
+  RunnerMetrics& rm = Runner();
+  rm.instances->Increment();
+  ScopedDuration wall(rm.instance_wall);
+  ScopedCpuDuration cpu(rm.instance_cpu);
   InstanceEvaluation r;
   r.index = index;
   const RecordPair& pair = test.pair(index);
   const uint64_t instance_seed =
       seed ^ (static_cast<uint64_t>(index) << 20);
-  auto explained = ExplainAsUnitsEx(explainer, matcher, pair, instance_seed);
+  auto explained = [&] {
+    CREW_TRACE_SPAN("runner/explain");
+    return ExplainAsUnitsEx(explainer, matcher, pair, instance_seed);
+  }();
   if (!explained.ok()) return explained.status();
   const WordExplanation& words = explained->words;
   const std::vector<ExplanationUnit>& units = explained->units;
   if (units.empty()) return r;  // evaluated stays false
   r.evaluated = true;
 
-  Tokenizer tokenizer;
-  EvalInstance instance{PairTokenView(AnonymousSchema(pair), tokenizer, pair),
-                        units, words.base_score, matcher.threshold()};
-  r.predicted_match = instance.PredictedMatch();
+  {
+    CREW_TRACE_SPAN("runner/eval");
+    ScopedMetricStage stage("eval");
+    Tokenizer tokenizer;
+    EvalInstance instance{
+        PairTokenView(AnonymousSchema(pair), tokenizer, pair), units,
+        words.base_score, matcher.threshold()};
+    r.predicted_match = instance.PredictedMatch();
 
-  r.aopc = AopcDeletion(matcher, instance, options.aopc_max_k);
-  r.comprehensiveness_at_1 = ComprehensivenessAtK(matcher, instance, 1);
-  r.comprehensiveness_at_3 = ComprehensivenessAtK(matcher, instance, 3);
-  r.sufficiency_at_1 = SufficiencyAtK(matcher, instance, 1);
-  r.sufficiency_at_3 = SufficiencyAtK(matcher, instance, 3);
-  r.comprehensiveness_budget =
-      ComprehensivenessAtTokenBudget(matcher, instance, options.token_budget);
-  r.decision_flip = DecisionFlipAtTop(matcher, instance);
-  r.insertion_aopc = AopcInsertion(matcher, instance, options.insertion_max_k);
-  r.flip_set = MinimalFlipSet(matcher, instance);
-  if (!options.curve_fractions.empty()) {
-    r.curve = DeletionCurve(matcher, instance, options.curve_fractions);
+    r.aopc = AopcDeletion(matcher, instance, options.aopc_max_k);
+    r.comprehensiveness_at_1 = ComprehensivenessAtK(matcher, instance, 1);
+    r.comprehensiveness_at_3 = ComprehensivenessAtK(matcher, instance, 3);
+    r.sufficiency_at_1 = SufficiencyAtK(matcher, instance, 1);
+    r.sufficiency_at_3 = SufficiencyAtK(matcher, instance, 3);
+    r.comprehensiveness_budget = ComprehensivenessAtTokenBudget(
+        matcher, instance, options.token_budget);
+    r.decision_flip = DecisionFlipAtTop(matcher, instance);
+    r.insertion_aopc =
+        AopcInsertion(matcher, instance, options.insertion_max_k);
+    r.flip_set = MinimalFlipSet(matcher, instance);
+    if (!options.curve_fractions.empty()) {
+      r.curve = DeletionCurve(matcher, instance, options.curve_fractions);
+    }
+
+    const ComprehensibilityResult comp =
+        EvaluateComprehensibility(words, units, embeddings);
+    r.total_units = comp.total_units;
+    r.effective_units = comp.effective_units;
+    r.words_per_unit = comp.avg_words_per_unit;
+    r.semantic_coherence = comp.semantic_coherence;
+    r.attribute_purity = comp.attribute_purity;
   }
-
-  const ComprehensibilityResult comp =
-      EvaluateComprehensibility(words, units, embeddings);
-  r.total_units = comp.total_units;
-  r.effective_units = comp.effective_units;
-  r.words_per_unit = comp.avg_words_per_unit;
-  r.semantic_coherence = comp.semantic_coherence;
-  r.attribute_purity = comp.attribute_purity;
 
   r.has_cluster_stats = explained->has_cluster_stats;
   r.cluster_coherence = explained->cluster_coherence;
@@ -60,6 +187,8 @@ Result<InstanceEvaluation> EvaluateInstance(
   r.chosen_k = explained->chosen_k;
 
   if (!options.stability_seeds.empty()) {
+    CREW_TRACE_SPAN("runner/stability");
+    ScopedMetricStage stage("stability");
     auto stability =
         ExplainerStability(explainer, matcher, pair, options.stability_seeds,
                            options.stability_top_k);
@@ -79,6 +208,7 @@ Result<std::vector<InstanceEvaluation>> EvaluateInstances(
   const int n = static_cast<int>(indices.size());
   std::vector<InstanceEvaluation> records(n);
   std::vector<Status> errors(n);
+  ProgressMeter progress(n);
   // Every slot is written by exactly one chunk, and the per-instance seed
   // depends only on the pair index, so any thread count produces the same
   // records. Scoring nested inside a chunk runs inline (ParallelFor's
@@ -92,6 +222,7 @@ Result<std::vector<InstanceEvaluation>> EvaluateInstances(
       } else {
         errors[i] = r.status();
       }
+      progress.Tick();
     }
   });
   // First error in index order, so failures are as deterministic as
@@ -247,6 +378,7 @@ std::vector<SuiteEntry> NameSuite(
 
 Result<PreparedDataset> PrepareDataset(const BenchmarkEntry& entry,
                                        const ExperimentSpec& spec) {
+  CREW_TRACE_SPAN("runner/prepare");
   PreparedDataset out;
   out.name = entry.name;
   auto dataset = GenerateDataset(entry.config);
@@ -263,19 +395,6 @@ Result<PreparedDataset> PrepareDataset(const BenchmarkEntry& entry,
                              spec.instances_per_dataset, rng);
   return out;
 }
-
-namespace {
-
-ScoringStats StatsDelta(const ScoringStats& after, const ScoringStats& before) {
-  ScoringStats d;
-  d.predictions = after.predictions - before.predictions;
-  d.batches = after.batches - before.batches;
-  d.materialize_ms = after.materialize_ms - before.materialize_ms;
-  d.predict_ms = after.predict_ms - before.predict_ms;
-  return d;
-}
-
-}  // namespace
 
 ExperimentResult ExperimentRunner::EmptyResult() const {
   ExperimentResult out;
@@ -308,7 +427,8 @@ Result<ExperimentResult> ExperimentRunner::RunPrepared(
   for (const PreparedDataset& p : prepared) {
     std::vector<SuiteEntry> suite = spec_.suite(p.pipeline);
     for (const SuiteEntry& entry : suite) {
-      const ScoringStats before = GlobalScoringStats();
+      ScopedProgressLabel label(p.name + "/" + entry.name);
+      const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
       WallTimer timer;
       auto records = EvaluateInstances(
           *entry.explainer, *p.pipeline.matcher, p.pipeline.test, p.instances,
@@ -318,9 +438,16 @@ Result<ExperimentResult> ExperimentRunner::RunPrepared(
       cell.dataset = p.name;
       cell.variant = entry.name;
       cell.wall_ms = timer.ElapsedMillis();
-      cell.scoring = StatsDelta(GlobalScoringStats(), before);
+      // One registry read feeds both views, so cell.scoring and
+      // cell.registry can never disagree.
+      cell.registry =
+          MetricsDelta(MetricsRegistry::Global().Snapshot(), before);
+      cell.scoring = ScoringStatsFromMetrics(cell.registry);
       cell.instances = std::move(records.value());
-      cell.aggregate = ReduceInstances(entry.name, cell.instances);
+      {
+        CREW_TRACE_SPAN("runner/reduce");
+        cell.aggregate = ReduceInstances(entry.name, cell.instances);
+      }
       out.cells.push_back(std::move(cell));
     }
   }

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "crew/common/metrics.h"
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/experiment.h"
 #include "crew/eval/faithfulness.h"
@@ -15,6 +16,26 @@
 #include "crew/model/trainer.h"
 
 namespace crew {
+
+/// Minimum seconds between runner progress heartbeats on stderr
+/// ("[progress] dataset/variant done/total (rate/s)"). <= 0 disables them
+/// entirely. Heartbeats are throttled and observation-only: they never
+/// change what the runner computes. Default: 1 second.
+void SetProgressInterval(double seconds);
+double ProgressInterval();
+
+/// Label prefixed to progress heartbeats while in scope (the runner sets
+/// "dataset/variant" around each cell). Process-global, save/restore.
+class ScopedProgressLabel {
+ public:
+  explicit ScopedProgressLabel(std::string label);
+  ~ScopedProgressLabel();
+  ScopedProgressLabel(const ScopedProgressLabel&) = delete;
+  ScopedProgressLabel& operator=(const ScopedProgressLabel&) = delete;
+
+ private:
+  std::string saved_;
+};
 
 /// Knobs for the per-instance metric block. Defaults reproduce the
 /// historical EvaluateExplainerOnDataset numbers; the optional extras
@@ -118,6 +139,10 @@ struct ExperimentCell {
   ExplainerAggregate aggregate;
   std::vector<InstanceEvaluation> instances;
   ScoringStats scoring;  ///< engine counter delta while this cell ran
+  /// Full metrics-registry delta while this cell ran (per-stage counters,
+  /// stage durations, batch-size histogram buckets). `scoring` above is the
+  /// legacy view derived from the same delta, so the two always agree.
+  MetricsSnapshot registry;
   double wall_ms = 0.0;
   /// Extra named values for cells that don't come from the standard
   /// per-instance engine (dataset stats, matcher P/R/F1, sweeps).
@@ -132,6 +157,8 @@ struct ExperimentResult {
   std::string name;
   std::vector<std::pair<std::string, std::string>> params;
   std::vector<ExperimentCell> cells;
+  /// When true, sinks also emit each cell's registry delta (--metrics).
+  bool include_metrics = false;
 
   /// Variant names in first-appearance order.
   std::vector<std::string> VariantNames() const;

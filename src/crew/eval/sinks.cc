@@ -34,6 +34,39 @@ TableColumn NoteColumn(std::string header, std::string key) {
           }};
 }
 
+TableColumn RegistryCountColumn(std::string header, std::string metric) {
+  return {std::move(header),
+          [metric = std::move(metric)](const ExperimentCell& cell) {
+            const MetricEntry* entry = FindMetric(cell.registry, metric);
+            return entry == nullptr ? std::string("-")
+                                    : std::to_string(entry->count);
+          }};
+}
+
+TableColumn RegistryMsColumn(std::string header, std::string metric,
+                             int precision) {
+  return {std::move(header),
+          [metric = std::move(metric), precision](const ExperimentCell& cell) {
+            const MetricEntry* entry = FindMetric(cell.registry, metric);
+            return entry == nullptr ? std::string("-")
+                                    : Table::Num(entry->total_ms, precision);
+          }};
+}
+
+Table MetricsSnapshotTable(const MetricsSnapshot& snapshot) {
+  Table table({"metric", "count", "ms"});
+  for (const MetricEntry& entry : snapshot) {
+    std::vector<std::string> row;
+    row.push_back(entry.name);
+    row.push_back(std::to_string(entry.count));
+    row.push_back(entry.kind == MetricKind::kDuration
+                      ? Table::Num(entry.total_ms, 1)
+                      : "-");
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
 Table MakeCellTable(const std::vector<ExperimentCell>& cells,
                     const std::vector<TableColumn>& columns,
                     bool dataset_column, bool variant_column) {
@@ -56,6 +89,18 @@ Status TableSink::Consume(const ExperimentResult& result) {
   const Table table =
       MakeCellTable(result.cells, columns_, dataset_column_, variant_column_);
   std::fprintf(out_, "%s\n", table.ToAligned().c_str());
+  if (result.include_metrics) {
+    std::vector<MetricsSnapshot> deltas;
+    deltas.reserve(result.cells.size());
+    for (const ExperimentCell& cell : result.cells) {
+      deltas.push_back(cell.registry);
+    }
+    const MetricsSnapshot total = MetricsSum(deltas);
+    if (!total.empty()) {
+      std::fprintf(out_, "-- metrics (summed over cells) --\n%s\n",
+                   MetricsSnapshotTable(total).ToAligned().c_str());
+    }
+  }
   return Status::Ok();
 }
 
@@ -107,7 +152,26 @@ void AppendAggregate(const ExplainerAggregate& agg, std::string* out) {
   *out += "}";
 }
 
-void AppendCell(const ExperimentCell& cell, std::string* out) {
+// Registry deltas serialize as {"name":{"count":N}} for counters and
+// histogram buckets, {"name":{"count":N,"ms":X}} for durations. Snapshots
+// are already name-sorted, so the emission order is deterministic.
+void AppendRegistry(const MetricsSnapshot& registry, std::string* out) {
+  *out += "{";
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const MetricEntry& entry = registry[i];
+    if (i > 0) *out += ",";
+    *out += JsonStr(entry.name) + ":{\"count\":" +
+            std::to_string(entry.count);
+    if (entry.kind == MetricKind::kDuration) {
+      *out += ",\"ms\":" + JsonNum(entry.total_ms);
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+void AppendCell(const ExperimentCell& cell, bool include_metrics,
+                std::string* out) {
   *out += "{\"dataset\":" + JsonStr(cell.dataset);
   *out += ",\"variant\":" + JsonStr(cell.variant);
   if (!cell.instances.empty()) {
@@ -152,6 +216,10 @@ void AppendCell(const ExperimentCell& cell, std::string* out) {
           ",\"materialize_ms\":" + JsonNum(cell.scoring.materialize_ms) +
           ",\"predict_ms\":" + JsonNum(cell.scoring.predict_ms) + "}";
   *out += ",\"wall_ms\":" + JsonNum(cell.wall_ms);
+  if (include_metrics && !cell.registry.empty()) {
+    *out += ",\"registry\":";
+    AppendRegistry(cell.registry, out);
+  }
   if (!cell.metrics.empty()) {
     *out += ",\"metrics\":{";
     for (size_t i = 0; i < cell.metrics.size(); ++i) {
@@ -186,7 +254,7 @@ std::string ExperimentResultToJson(const ExperimentResult& result) {
   out += "},\"cells\":[";
   for (size_t i = 0; i < result.cells.size(); ++i) {
     if (i > 0) out += ",";
-    AppendCell(result.cells[i], &out);
+    AppendCell(result.cells[i], result.include_metrics, &out);
   }
   out += "]}";
   return out;

@@ -38,6 +38,18 @@ TableColumn MetricColumn(std::string header, std::string key,
 /// Column reading a named value from ExperimentCell::notes.
 TableColumn NoteColumn(std::string header, std::string key);
 
+/// Column reading a metric's count from ExperimentCell::registry.
+TableColumn RegistryCountColumn(std::string header, std::string metric);
+
+/// Column reading a duration metric's total milliseconds from
+/// ExperimentCell::registry.
+TableColumn RegistryMsColumn(std::string header, std::string metric,
+                             int precision = 1);
+
+/// Renders a metrics snapshot (or delta) as a name/count/ms table —
+/// the "-- metrics --" block TableSink appends under --metrics.
+Table MetricsSnapshotTable(const MetricsSnapshot& snapshot);
+
 /// Builds the aligned table for `cells` with a leading dataset and/or
 /// variant column.
 Table MakeCellTable(const std::vector<ExperimentCell>& cells,

@@ -1,11 +1,13 @@
 #include "crew/explain/batch_scorer.h"
 
 #include <algorithm>
-#include <atomic>
+#include <string>
 
 #include "crew/common/logging.h"
+#include "crew/common/metrics.h"
 #include "crew/common/thread_pool.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 namespace {
@@ -15,41 +17,58 @@ namespace {
 // sample while PredictProbaBatch still sees real batches.
 constexpr int kBlockSize = 64;
 
-std::atomic<std::int64_t> g_predictions{0};
-std::atomic<std::int64_t> g_batches{0};
-std::atomic<std::int64_t> g_materialize_ns{0};
-std::atomic<std::int64_t> g_predict_ns{0};
+// Registry handles, interned once. Leaked like the registry itself so the
+// engine can record from threads draining after main().
+struct EngineMetrics {
+  Counter* predictions;
+  Counter* batches;
+  DurationStat* materialize;
+  DurationStat* predict;
+  Histogram* batch_size;
+};
+
+EngineMetrics& Engine() {
+  static EngineMetrics* m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* e = new EngineMetrics();
+    e->predictions = reg.GetCounter("crew/scoring/predictions");
+    e->batches = reg.GetCounter("crew/scoring/batches");
+    e->materialize = reg.GetDuration("crew/scoring/materialize");
+    e->predict = reg.GetDuration("crew/scoring/predict");
+    e->batch_size = reg.GetHistogram("crew/scoring/batch_size");
+    return e;
+  }();
+  return *m;
+}
+
+// Per-stage prediction counter, cached per thread by stage pointer (stage
+// labels are string literals, so pointer identity is stable and the
+// registry mutex is only taken when the stage actually changes).
+Counter* StageCounter(const char* stage) {
+  thread_local const char* cached_stage = nullptr;
+  thread_local Counter* cached_counter = nullptr;
+  if (stage != cached_stage) {
+    cached_counter = MetricsRegistry::Global().GetCounter(
+        std::string("crew/scoring/predictions/") + stage);
+    cached_stage = stage;
+  }
+  return cached_counter;
+}
+
+// One engine entry point issuing n predictions. Runs on the calling thread
+// (before any fan-out), so CurrentMetricStage() sees the caller's stage.
+void CountBatch(int n) {
+  EngineMetrics& m = Engine();
+  m.batches->Increment();
+  m.predictions->Add(n);
+  StageCounter(CurrentMetricStage())->Add(n);
+}
 
 void AddStageTimes(double materialize_seconds, double predict_seconds) {
-  g_materialize_ns.fetch_add(
-      static_cast<std::int64_t>(materialize_seconds * 1e9),
-      std::memory_order_relaxed);
-  g_predict_ns.fetch_add(static_cast<std::int64_t>(predict_seconds * 1e9),
-                         std::memory_order_relaxed);
+  EngineMetrics& m = Engine();
+  m.materialize->Add(materialize_seconds);
+  m.predict->Add(predict_seconds);
 }
-
-}  // namespace
-
-ScoringStats GlobalScoringStats() {
-  ScoringStats stats;
-  stats.predictions = g_predictions.load(std::memory_order_relaxed);
-  stats.batches = g_batches.load(std::memory_order_relaxed);
-  stats.materialize_ms =
-      static_cast<double>(g_materialize_ns.load(std::memory_order_relaxed)) /
-      1e6;
-  stats.predict_ms =
-      static_cast<double>(g_predict_ns.load(std::memory_order_relaxed)) / 1e6;
-  return stats;
-}
-
-void ResetScoringStats() {
-  g_predictions.store(0, std::memory_order_relaxed);
-  g_batches.store(0, std::memory_order_relaxed);
-  g_materialize_ns.store(0, std::memory_order_relaxed);
-  g_predict_ns.store(0, std::memory_order_relaxed);
-}
-
-namespace {
 
 // Scores n samples: materialize(i, slot) writes sample i into a reused
 // RecordPair slot, then the matcher scores kBlockSize-sized blocks. Chunked
@@ -60,10 +79,11 @@ void ScoreMaterialized(const Matcher& matcher, int n,
                        std::vector<double>* out) {
   out->assign(n, 0.0);
   if (n == 0) return;
-  g_batches.fetch_add(1, std::memory_order_relaxed);
-  g_predictions.fetch_add(n, std::memory_order_relaxed);
+  CountBatch(n);
   double* scores = out->data();
   auto work = [&matcher, &materialize, scores](int begin, int end) {
+    CREW_TRACE_SPAN("crew/scoring/chunk");
+    Histogram* batch_size = Engine().batch_size;
     std::vector<RecordPair> block(std::min(kBlockSize, end - begin));
     double materialize_s = 0.0, predict_s = 0.0;
     WallTimer timer;
@@ -75,17 +95,44 @@ void ScoreMaterialized(const Matcher& matcher, int n,
       timer.Restart();
       matcher.PredictProbaBatch(block.data(), block_n, scores + b);
       predict_s += timer.ElapsedSeconds();
+      batch_size->Observe(block_n);
     }
     AddStageTimes(materialize_s, predict_s);
   };
   ParallelFor(SharedScoringPool(), n, work);
 }
 
+std::int64_t MetricCount(const MetricsSnapshot& snapshot, const char* name) {
+  const MetricEntry* entry = FindMetric(snapshot, name);
+  return entry == nullptr ? 0 : entry->count;
+}
+
+double MetricMs(const MetricsSnapshot& snapshot, const char* name) {
+  const MetricEntry* entry = FindMetric(snapshot, name);
+  return entry == nullptr ? 0.0 : entry->total_ms;
+}
+
 }  // namespace
+
+ScoringStats ScoringStatsFromMetrics(const MetricsSnapshot& snapshot) {
+  ScoringStats stats;
+  stats.predictions = MetricCount(snapshot, "crew/scoring/predictions");
+  stats.batches = MetricCount(snapshot, "crew/scoring/batches");
+  stats.materialize_ms = MetricMs(snapshot, "crew/scoring/materialize");
+  stats.predict_ms = MetricMs(snapshot, "crew/scoring/predict");
+  return stats;
+}
+
+ScoringStats GlobalScoringStats() {
+  return ScoringStatsFromMetrics(MetricsRegistry::Global().Snapshot());
+}
+
+void ResetScoringStats() { MetricsRegistry::Global().Reset(); }
 
 void BatchScorer::ScoreKeepMasks(const std::vector<std::vector<bool>>& keeps,
                                  std::vector<double>* out) const {
   CREW_CHECK(view_ != nullptr);
+  CREW_TRACE_SPAN("crew/scoring/keep_masks");
   ScoreMaterialized(
       matcher_, static_cast<int>(keeps.size()),
       [this, &keeps](int i, RecordPair* slot) {
@@ -100,6 +147,7 @@ void BatchScorer::ScoreInjectionMasks(
     std::vector<double>* out) const {
   CREW_CHECK(view_ != nullptr);
   CREW_CHECK(keeps.size() == injects.size());
+  CREW_TRACE_SPAN("crew/scoring/injection_masks");
   ScoreMaterialized(
       matcher_, static_cast<int>(keeps.size()),
       [this, &keeps, &injects](int i, RecordPair* slot) {
@@ -110,27 +158,28 @@ void BatchScorer::ScoreInjectionMasks(
 
 void BatchScorer::ScorePairs(const std::vector<RecordPair>& pairs,
                              std::vector<double>* out) const {
+  CREW_TRACE_SPAN("crew/scoring/pairs");
   const int n = static_cast<int>(pairs.size());
   out->assign(n, 0.0);
   if (n == 0) return;
-  g_batches.fetch_add(1, std::memory_order_relaxed);
-  g_predictions.fetch_add(n, std::memory_order_relaxed);
+  CountBatch(n);
   const RecordPair* data = pairs.data();
   double* scores = out->data();
   auto work = [this, data, scores](int begin, int end) {
+    CREW_TRACE_SPAN("crew/scoring/chunk");
     WallTimer timer;
     matcher_.PredictProbaBatch(data + begin,
                                static_cast<size_t>(end - begin),
                                scores + begin);
     AddStageTimes(0.0, timer.ElapsedSeconds());
+    Engine().batch_size->Observe(end - begin);
   };
   ParallelFor(SharedScoringPool(), n, work);
 }
 
 double BatchScorer::ScoreKeepMask(const std::vector<bool>& keep) const {
   CREW_CHECK(view_ != nullptr);
-  g_batches.fetch_add(1, std::memory_order_relaxed);
-  g_predictions.fetch_add(1, std::memory_order_relaxed);
+  CountBatch(1);
   WallTimer timer;
   RecordPair pair;
   view_->MaterializeInto(keep, &pair);
@@ -139,6 +188,7 @@ double BatchScorer::ScoreKeepMask(const std::vector<bool>& keep) const {
   double score = 0.0;
   matcher_.PredictProbaBatch(&pair, 1, &score);
   AddStageTimes(materialize_s, timer.ElapsedSeconds());
+  Engine().batch_size->Observe(1);
   return score;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crew/common/metrics.h"
 #include "crew/explain/token_view.h"
 #include "crew/model/matcher.h"
 
@@ -13,6 +14,14 @@ namespace crew {
 /// from benches; see bench_f4_runtime). Stage times are summed across
 /// worker threads, so with T threads they can exceed wall time — they
 /// answer "where does the scoring work go", wall clock answers "how fast".
+///
+/// This struct is now a *view* over the metrics registry (see
+/// crew/common/metrics.h): the engine records into named registry metrics
+/// ("crew/scoring/predictions", "crew/scoring/batches",
+/// "crew/scoring/materialize", "crew/scoring/predict", plus a
+/// "crew/scoring/batch_size" histogram and per-stage
+/// "crew/scoring/predictions/<stage>" counters), and ScoringStats is
+/// reconstructed from a snapshot. The old API is kept as a shim.
 struct ScoringStats {
   std::int64_t predictions = 0;  ///< matcher scores issued through the engine
   std::int64_t batches = 0;      ///< ScoreKeepMasks/ScorePairs/... calls
@@ -20,9 +29,17 @@ struct ScoringStats {
   double predict_ms = 0.0;       ///< Matcher::PredictProbaBatch time
 };
 
-/// Snapshot of the global counters.
+/// Snapshot of the global counters (shim over MetricsRegistry::Global()).
 ScoringStats GlobalScoringStats();
+
+/// Resets the registry epoch (all metrics, not just scoring — the registry
+/// reset is global and atomic; see MetricsRegistry::Reset()).
 void ResetScoringStats();
+
+/// Extracts the scoring-engine view from any registry snapshot. Lets
+/// callers that already hold a snapshot (or a MetricsDelta) derive
+/// ScoringStats without re-reading the registry.
+ScoringStats ScoringStatsFromMetrics(const MetricsSnapshot& snapshot);
 
 /// The one funnel between explainers and the matcher: materializes
 /// interpretable-space perturbations (keep / injection masks) into record

@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "crew/common/metrics.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/explain/batch_scorer.h"
 #include "crew/explain/token_view.h"
 
@@ -31,6 +33,8 @@ CertaExplainer::CertaExplainer(const Dataset& support, CertaConfig config)
 Result<WordExplanation> CertaExplainer::Explain(const Matcher& matcher,
                                                 const RecordPair& pair,
                                                 uint64_t seed) const {
+  CREW_TRACE_SPAN("explain/certa");
+  ScopedMetricStage metric_stage("attribution");
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "crew/common/metrics.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 
@@ -11,6 +13,8 @@ namespace crew {
 Result<WordExplanation> LemonExplainer::Explain(const Matcher& matcher,
                                                 const RecordPair& pair,
                                                 uint64_t seed) const {
+  CREW_TRACE_SPAN("explain/lemon");
+  ScopedMetricStage metric_stage("attribution");
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

@@ -2,13 +2,17 @@
 
 #include <numeric>
 
+#include "crew/common/metrics.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 
 Result<WordExplanation> LimeExplainer::Explain(const Matcher& matcher,
                                                const RecordPair& pair,
                                                uint64_t seed) const {
+  CREW_TRACE_SPAN("explain/lime");
+  ScopedMetricStage metric_stage("attribution");
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

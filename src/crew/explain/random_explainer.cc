@@ -1,7 +1,9 @@
 #include "crew/explain/random_explainer.h"
 
+#include "crew/common/metrics.h"
 #include "crew/common/rng.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/explain/token_view.h"
 
 namespace crew {
@@ -9,6 +11,8 @@ namespace crew {
 Result<WordExplanation> RandomExplainer::Explain(const Matcher& matcher,
                                                  const RecordPair& pair,
                                                  uint64_t seed) const {
+  CREW_TRACE_SPAN("explain/random");
+  ScopedMetricStage metric_stage("attribution");
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

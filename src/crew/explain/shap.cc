@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "crew/common/metrics.h"
 #include "crew/common/rng.h"
 #include "crew/common/timer.h"
+#include "crew/common/trace.h"
 #include "crew/explain/batch_scorer.h"
 #include "crew/la/ridge.h"
 
@@ -12,6 +14,8 @@ namespace crew {
 Result<WordExplanation> KernelShapExplainer::Explain(const Matcher& matcher,
                                                      const RecordPair& pair,
                                                      uint64_t seed) const {
+  CREW_TRACE_SPAN("explain/shap");
+  ScopedMetricStage metric_stage("attribution");
   WallTimer timer;
   Tokenizer tokenizer;
   PairTokenView view(AnonymousSchema(pair), tokenizer, pair);

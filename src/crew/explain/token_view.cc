@@ -1,6 +1,8 @@
 #include "crew/explain/token_view.h"
 
 #include "crew/common/logging.h"
+#include "crew/common/metrics.h"
+#include "crew/common/trace.h"
 
 namespace crew {
 
@@ -15,6 +17,10 @@ Schema AnonymousSchema(const RecordPair& pair) {
 PairTokenView::PairTokenView(const Schema& schema, const Tokenizer& tokenizer,
                              const RecordPair& pair)
     : schema_(schema), pair_(pair) {
+  CREW_TRACE_SPAN("crew/tokenize");
+  static DurationStat* timed_stat =
+      MetricsRegistry::Global().GetDuration("crew/stage/tokenize");
+  ScopedDuration timed(timed_stat);
   CREW_CHECK(static_cast<int>(pair.left.values.size()) == schema.size());
   CREW_CHECK(static_cast<int>(pair.right.values.size()) == schema.size());
   for (Side side : {Side::kLeft, Side::kRight}) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "crew/common/rng.h"
+#include "crew/common/trace.h"
 #include "crew/la/vector_ops.h"
 #include "crew/model/metrics.h"
 
@@ -200,6 +201,7 @@ double EmbeddingBagMatcher::PredictProba(const RecordPair& pair) const {
 
 void EmbeddingBagMatcher::PredictProbaBatch(const RecordPair* pairs,
                                             size_t count, double* out) const {
+  CREW_TRACE_SPAN("matcher/embedding_bag");
   EncodeScratch scratch;
   la::Vec x;
   for (size_t i = 0; i < count; ++i) {

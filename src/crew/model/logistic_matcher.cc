@@ -1,5 +1,6 @@
 #include "crew/model/logistic_matcher.h"
 
+#include "crew/common/trace.h"
 #include "crew/model/metrics.h"
 
 namespace crew {
@@ -61,6 +62,7 @@ double LogisticMatcher::PredictProba(const RecordPair& pair) const {
 
 void LogisticMatcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
                                         double* out) const {
+  CREW_TRACE_SPAN("matcher/logistic");
   PairFeaturizer::Scratch scratch;
   la::Vec x;
   for (size_t i = 0; i < count; ++i) {

@@ -1,9 +1,12 @@
 #include "crew/model/matcher.h"
 
+#include "crew/common/trace.h"
+
 namespace crew {
 
 void Matcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
                                 double* out) const {
+  CREW_TRACE_SPAN("matcher/base");
   for (size_t i = 0; i < count; ++i) out[i] = PredictProba(pairs[i]);
 }
 

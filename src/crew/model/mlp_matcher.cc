@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "crew/common/rng.h"
+#include "crew/common/trace.h"
 #include "crew/model/metrics.h"
 
 namespace crew {
@@ -115,6 +116,7 @@ double MlpMatcher::PredictProba(const RecordPair& pair) const {
 
 void MlpMatcher::PredictProbaBatch(const RecordPair* pairs, size_t count,
                                    double* out) const {
+  CREW_TRACE_SPAN("matcher/mlp");
   PairFeaturizer::Scratch scratch;
   la::Vec x;
   for (size_t i = 0; i < count; ++i) {

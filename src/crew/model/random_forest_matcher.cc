@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "crew/common/rng.h"
+#include "crew/common/trace.h"
 #include "crew/model/metrics.h"
 
 namespace crew {
@@ -176,6 +177,7 @@ double RandomForestMatcher::PredictProba(const RecordPair& pair) const {
 
 void RandomForestMatcher::PredictProbaBatch(const RecordPair* pairs,
                                             size_t count, double* out) const {
+  CREW_TRACE_SPAN("matcher/forest");
   PairFeaturizer::Scratch scratch;
   la::Vec x;
   for (size_t i = 0; i < count; ++i) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+
 namespace crew {
 namespace {
 
@@ -18,15 +21,64 @@ TEST(LoggingTest, SeverityFilterSuppressesBelowMin) {
   EXPECT_NE(err.find("should appear"), std::string::npos);
 }
 
-TEST(LoggingTest, MessageIncludesSeverityTagAndFile) {
+TEST(LoggingTest, MessageIncludesSeverityTimestampThreadAndFile) {
   const LogSeverity original = MinLogSeverity();
   SetMinLogSeverity(LogSeverity::kDebug);
   ::testing::internal::CaptureStderr();
   CREW_LOG(Error) << "boom " << 42;
   const std::string err = ::testing::internal::GetCapturedStderr();
   SetMinLogSeverity(original);
-  EXPECT_NE(err.find("[E logging_test.cc:"), std::string::npos);
-  EXPECT_NE(err.find("boom 42"), std::string::npos);
+  // [E 2026-08-05 12:34:56.789 t1 logging_test.cc:NN] boom 42
+  const std::regex prefix(
+      R"(\[E \d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}\.\d{3} t\d+ )"
+      R"(logging_test\.cc:\d+\] boom 42)");
+  EXPECT_TRUE(std::regex_search(err, prefix)) << "got: " << err;
+}
+
+TEST(LoggingTest, SeverityLettersMatchLevel) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kDebug);
+  ::testing::internal::CaptureStderr();
+  CREW_LOG(Debug) << "dbg";
+  CREW_LOG(Info) << "inf";
+  CREW_LOG(Warning) << "wrn";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetMinLogSeverity(original);
+  EXPECT_NE(err.find("[D "), std::string::npos);
+  EXPECT_NE(err.find("[I "), std::string::npos);
+  EXPECT_NE(err.find("[W "), std::string::npos);
+}
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNamesLettersAndDigits) {
+  const LogSeverity fb = LogSeverity::kInfo;
+  EXPECT_EQ(ParseLogSeverity("debug", fb), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("d", fb), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("0", fb), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("info", fb), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("i", fb), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("1", fb), LogSeverity::kInfo);
+  EXPECT_EQ(ParseLogSeverity("warning", fb), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("warn", fb), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("w", fb), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("2", fb), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("error", fb), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("e", fb), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("3", fb), LogSeverity::kError);
+}
+
+TEST(LoggingTest, ParseLogSeverityIsCaseInsensitive) {
+  const LogSeverity fb = LogSeverity::kInfo;
+  EXPECT_EQ(ParseLogSeverity("DEBUG", fb), LogSeverity::kDebug);
+  EXPECT_EQ(ParseLogSeverity("Warn", fb), LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("E", fb), LogSeverity::kError);
+}
+
+TEST(LoggingTest, ParseLogSeverityFallsBackOnJunk) {
+  EXPECT_EQ(ParseLogSeverity(nullptr, LogSeverity::kWarning),
+            LogSeverity::kWarning);
+  EXPECT_EQ(ParseLogSeverity("", LogSeverity::kError), LogSeverity::kError);
+  EXPECT_EQ(ParseLogSeverity("verbose", LogSeverity::kInfo),
+            LogSeverity::kInfo);
 }
 
 TEST(LoggingTest, StreamsArbitraryTypes) {

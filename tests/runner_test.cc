@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "crew/common/metrics.h"
 #include "crew/common/thread_pool.h"
+#include "crew/common/trace.h"
 #include "crew/data/generator.h"
 #include "crew/eval/comprehensibility.h"
 #include "crew/eval/faithfulness.h"
@@ -35,6 +37,18 @@ class ScopedScoringThreads {
  public:
   explicit ScopedScoringThreads(int n) { SetScoringThreads(n); }
   ~ScopedScoringThreads() { SetScoringThreads(0); }
+};
+
+// Turns span recording on for one scope and drops whatever it recorded.
+// Used by the determinism tests: tracing is observation-only, so results
+// with it on must be bit-identical to results with it off.
+class ScopedTracing {
+ public:
+  ScopedTracing() { SetTracingEnabled(true); }
+  ~ScopedTracing() {
+    SetTracingEnabled(false);
+    ClearTraceEvents();
+  }
 };
 
 Dataset SmallDataset() {
@@ -139,6 +153,37 @@ TEST(EvaluateInstancesTest, BitIdenticalAcrossThreadCounts) {
     }
     ExpectAggregatesBitIdentical(ReduceInstances("lime", runs[0]),
                                  ReduceInstances("lime", runs[run]));
+  }
+}
+
+TEST(EvaluateInstancesTest, TracingDoesNotChangeResults) {
+  // The observability contract: enabling span recording must not change a
+  // single number, for any thread count. Baseline with tracing off, then
+  // re-run at threads 1/2/4 with tracing on.
+  const Dataset dataset = SmallDataset();
+  TokenWeightMatcher matcher({{"vortexa", 1.0}, {"lumenix", 0.7}}, -0.2);
+  const auto idx = SomeInstances(matcher, dataset, 4);
+  ASSERT_FALSE(idx.empty());
+  LimeConfig config;
+  config.perturbation.num_samples = 32;
+  LimeExplainer lime(config);
+
+  auto baseline = EvaluateInstances(lime, matcher, dataset, idx, nullptr, 9);
+  ASSERT_TRUE(baseline.ok());
+
+  for (int threads : {1, 2, 4}) {
+    ScopedScoringThreads scoped_threads(threads);
+    ScopedTracing scoped_tracing;
+    auto traced = EvaluateInstances(lime, matcher, dataset, idx, nullptr, 9);
+    ASSERT_TRUE(traced.ok()) << "threads=" << threads;
+    // Spans were actually recorded (the run is not silently untraced).
+    EXPECT_FALSE(CollectTraceEvents().empty()) << "threads=" << threads;
+    ASSERT_EQ(traced->size(), baseline->size());
+    for (size_t i = 0; i < baseline->size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " instance=" + std::to_string(i));
+      ExpectRecordsBitIdentical(baseline.value()[i], traced.value()[i]);
+    }
   }
 }
 
@@ -380,6 +425,67 @@ TEST(ExperimentRunnerTest, GridIsBitIdenticalAcrossThreadCounts) {
                                 results[1].cells[c].instances[i]);
     }
   }
+}
+
+TEST(ExperimentRunnerTest, RegistryDeltaAgreesWithScoringStats) {
+  // Each cell carries the full metrics-registry delta for its run; the
+  // legacy ScoringStats view is derived from the same read, so the two
+  // must agree exactly, and the per-stage prediction split must sum to
+  // the total.
+  ExperimentSpec spec;
+  spec.name = "registry_consistency";
+  spec.datasets = {TinyEntry("tiny", 3)};
+  spec.matcher = MatcherKind::kLogistic;
+  spec.instances_per_dataset = 3;
+  spec.seed = 7;
+  spec.suite = [](const TrainedPipeline&) {
+    std::vector<SuiteEntry> suite;
+    LimeConfig lime;
+    lime.perturbation.num_samples = 24;
+    suite.push_back({"lime", std::make_unique<LimeExplainer>(lime)});
+    return suite;
+  };
+  ExperimentRunner runner(std::move(spec));
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->cells.size(), 1u);
+  const ExperimentCell& cell = result->cells[0];
+  ASSERT_FALSE(cell.registry.empty());
+
+  const MetricEntry* predictions =
+      FindMetric(cell.registry, "crew/scoring/predictions");
+  ASSERT_NE(predictions, nullptr);
+  EXPECT_GT(predictions->count, 0);
+  EXPECT_EQ(predictions->count, cell.scoring.predictions);
+
+  const ScoringStats from_registry = ScoringStatsFromMetrics(cell.registry);
+  EXPECT_EQ(from_registry.predictions, cell.scoring.predictions);
+  EXPECT_EQ(from_registry.batches, cell.scoring.batches);
+  EXPECT_EQ(from_registry.materialize_ms, cell.scoring.materialize_ms);
+  EXPECT_EQ(from_registry.predict_ms, cell.scoring.predict_ms);
+
+  // Per-stage split: crew/scoring/predictions/<stage> entries partition
+  // the total prediction count.
+  std::int64_t stage_sum = 0;
+  int stages = 0;
+  for (const MetricEntry& entry : cell.registry) {
+    if (entry.name.rfind("crew/scoring/predictions/", 0) == 0) {
+      stage_sum += entry.count;
+      ++stages;
+    }
+  }
+  EXPECT_GT(stages, 0);
+  EXPECT_EQ(stage_sum, predictions->count);
+
+  // The runner's own instrumentation was attributed to the cell too.
+  const MetricEntry* instances =
+      FindMetric(cell.registry, "crew/runner/instances");
+  ASSERT_NE(instances, nullptr);
+  EXPECT_EQ(instances->count, 3);
+  const MetricEntry* wall = FindMetric(cell.registry, "crew/runner/instance");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->kind, MetricKind::kDuration);
+  EXPECT_EQ(wall->count, 3);
 }
 
 TEST(ExperimentRunnerTest, RunWithAppendsCustomCells) {

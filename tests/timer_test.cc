@@ -1,0 +1,87 @@
+// Tests for the stopwatch pair: WallTimer (steady clock) and CpuTimer
+// (per-thread CPU clock). CPU time only advances while the thread actually
+// computes, so a busy spin must register but the assertions stay loose
+// enough for loaded CI machines.
+
+#include "crew/common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace crew {
+namespace {
+
+// Busy work the optimizer cannot delete (result escapes via volatile).
+void Spin(int iterations) {
+  volatile double sink = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+}
+
+TEST(WallTimerTest, AdvancesMonotonically) {
+  WallTimer timer;
+  const double t1 = timer.ElapsedSeconds();
+  Spin(10000);
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3, 1.0);
+}
+
+TEST(WallTimerTest, RestartRezeroes) {
+  WallTimer timer;
+  Spin(100000);
+  timer.Restart();
+  // A fresh start cannot carry the pre-restart elapsed time (bounded well
+  // above any plausible scheduling delay, well below the spin's cost on
+  // even a fast machine... the point is only that it re-zeroed).
+  EXPECT_LT(timer.ElapsedSeconds(), 10.0);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+TEST(CpuTimerTest, AvailableOnLinux) {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  EXPECT_TRUE(CpuTimer::Available());
+#else
+  EXPECT_FALSE(CpuTimer::Available());
+#endif
+}
+
+TEST(CpuTimerTest, BusyWorkAccumulatesCpuTime) {
+  if (!CpuTimer::Available()) GTEST_SKIP() << "no thread CPU clock";
+  CpuTimer timer;
+  // Spin until the CPU clock visibly advances (bounded by iterations so a
+  // broken clock fails instead of hanging).
+  double elapsed = 0.0;
+  for (int i = 0; i < 1000 && elapsed <= 0.0; ++i) {
+    Spin(100000);
+    elapsed = timer.ElapsedSeconds();
+  }
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3, 10.0);
+}
+
+TEST(CpuTimerTest, SleepDoesNotBurnCpu) {
+  if (!CpuTimer::Available()) GTEST_SKIP() << "no thread CPU clock";
+  CpuTimer cpu;
+  WallTimer wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Sleeping advances wall time but (nearly) no CPU time; allow generous
+  // slack for wakeup overhead.
+  EXPECT_GE(wall.ElapsedSeconds(), 0.040);
+  EXPECT_LT(cpu.ElapsedSeconds(), wall.ElapsedSeconds());
+}
+
+TEST(CpuTimerTest, RestartRezeroes) {
+  if (!CpuTimer::Available()) GTEST_SKIP() << "no thread CPU clock";
+  CpuTimer timer;
+  Spin(500000);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 0.01);
+}
+
+}  // namespace
+}  // namespace crew

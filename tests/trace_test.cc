@@ -1,0 +1,196 @@
+// Tests for the span tracer: disabled spans record nothing, enabled spans
+// nest correctly per thread, ring overflow drops the oldest events (and
+// reports how many), and the Chrome trace-event JSON export carries the
+// fields chrome://tracing / Perfetto require.
+
+#include "crew/common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crew {
+namespace {
+
+// Every test runs against the same process-wide rings, so each starts from
+// a clean slate and leaves tracing disabled for the next one.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(false);
+    ClearTraceEvents();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    ClearTraceEvents();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    CREW_TRACE_SPAN("trace_test/disabled");
+  }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+  EXPECT_EQ(TraceDroppedEvents(), 0);
+}
+
+TEST_F(TraceTest, EnabledRecordsCompletedSpans) {
+  SetTracingEnabled(true);
+  {
+    CREW_TRACE_SPAN("trace_test/outer");
+    CREW_TRACE_SPAN("trace_test/inner");
+  }
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted (tid, start, -dur): the outer span opened first and covers the
+  // inner one entirely.
+  EXPECT_STREQ(events[0].name, "trace_test/outer");
+  EXPECT_STREQ(events[1].name, "trace_test/inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  EXPECT_GE(events[0].dur_ns, 0);
+  EXPECT_GE(events[1].dur_ns, 0);
+}
+
+TEST_F(TraceTest, SpansFromDifferentThreadsKeepDistinctTids) {
+  SetTracingEnabled(true);
+  {
+    CREW_TRACE_SPAN("trace_test/main");
+  }
+  std::thread t([] {
+    CREW_TRACE_SPAN("trace_test/worker");
+  });
+  t.join();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  EXPECT_GT(events[0].tid, 0);  // ids are stable, small, 1-based
+  EXPECT_GT(events[1].tid, 0);
+}
+
+TEST_F(TraceTest, SpansAreWellNestedPerThread) {
+  SetTracingEnabled(true);
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 20; ++i) {
+        CREW_TRACE_SPAN("trace_test/a");
+        {
+          CREW_TRACE_SPAN("trace_test/b");
+          {
+            CREW_TRACE_SPAN("trace_test/c");
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Stack check per tid over the (tid, start, -dur)-sorted stream: each
+  // event must fit inside the enclosing open span.
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), kThreads * 60u);
+  int current_tid = -1;
+  std::vector<const TraceEvent*> stack;
+  for (const TraceEvent& e : events) {
+    if (e.tid != current_tid) {
+      current_tid = e.tid;
+      stack.clear();
+    }
+    while (!stack.empty() &&
+           e.start_ns >= stack.back()->start_ns + stack.back()->dur_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_GE(e.start_ns, stack.back()->start_ns);
+      EXPECT_LE(e.start_ns + e.dur_ns,
+                stack.back()->start_ns + stack.back()->dur_ns);
+    }
+    stack.push_back(&e);
+  }
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  SetTracingEnabled(true);
+  constexpr int kOverflow = 100;
+  constexpr int kCapacity = 8192;  // per-thread ring size (trace.cc)
+  for (int i = 0; i < kCapacity + kOverflow; ++i) {
+    CREW_TRACE_SPAN("trace_test/flood");
+  }
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  EXPECT_EQ(static_cast<int>(events.size()), kCapacity);
+  EXPECT_EQ(TraceDroppedEvents(), kOverflow);
+  ClearTraceEvents();
+  EXPECT_TRUE(CollectTraceEvents().empty());
+  EXPECT_EQ(TraceDroppedEvents(), 0);
+}
+
+TEST_F(TraceTest, ToggleMidSpanIsAllOrNothing) {
+  // A span that opens while tracing is off records nothing even if tracing
+  // turns on before it closes (the flag is captured at open).
+  {
+    CREW_TRACE_SPAN("trace_test/straddle");
+    SetTracingEnabled(true);
+  }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST_F(TraceTest, ChromeJsonHasRequiredFields) {
+  SetTracingEnabled(true);
+  {
+    CREW_TRACE_SPAN("trace_test/json \"quoted\"");
+  }
+  const std::string json = TraceEventsToChromeJson(CollectTraceEvents());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // The quote inside the span name must come out escaped.
+  EXPECT_NE(json.find("trace_test/json \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("json \"quoted\""), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  SetTracingEnabled(true);
+  {
+    CREW_TRACE_SPAN("trace_test/file");
+  }
+  const std::string expected = TraceEventsToChromeJson(CollectTraceEvents());
+  const std::string path = ::testing::TempDir() + "/crew_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, expected);
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent_dir/x/y.json").ok());
+}
+
+TEST_F(TraceTest, CurrentThreadIdIsStable) {
+  const int id1 = CurrentThreadId();
+  const int id2 = CurrentThreadId();
+  EXPECT_EQ(id1, id2);
+  int other = 0;
+  std::thread t([&] { other = CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, id1);
+}
+
+}  // namespace
+}  // namespace crew

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates the metrics registry block in a bench --json output.
+
+For every cell with a "registry" block, checks that:
+  * the legacy "scoring" counters equal the registry's view of the same
+    quantities (same read, so they must match exactly);
+  * the per-stage counters crew/scoring/predictions/<stage> sum to
+    crew/scoring/predictions (the stage split partitions the total);
+  * the required per-stage breakdown metrics are present across the run
+    (materialize / predict timings plus the affinity, clustering and
+    attribution stage durations).
+
+Usage: tools/validate_metrics.py result.json
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_ANYWHERE = [
+    "crew/scoring/materialize",
+    "crew/scoring/predict",
+    "crew/stage/affinity",
+    "crew/stage/clustering",
+    "crew/stage/attribution",
+]
+
+
+def fail(msg):
+    print(f"validate_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_metrics.py result.json")
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[1]}: {e}")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail('missing or empty "cells"')
+
+    seen_names = set()
+    checked = 0
+    for i, cell in enumerate(cells):
+        registry = cell.get("registry")
+        if registry is None:
+            continue
+        label = f"cell {i} ({cell.get('dataset')}/{cell.get('variant')})"
+        seen_names.update(registry)
+
+        scoring = cell.get("scoring")
+        if not isinstance(scoring, dict):
+            fail(f"{label}: has registry but no scoring block")
+
+        total = registry.get("crew/scoring/predictions", {}).get("count", 0)
+        if total != scoring["predictions"]:
+            fail(f"{label}: registry predictions {total} != "
+                 f"scoring.predictions {scoring['predictions']}")
+        batches = registry.get("crew/scoring/batches", {}).get("count", 0)
+        if batches != scoring["batches"]:
+            fail(f"{label}: registry batches {batches} != "
+                 f"scoring.batches {scoring['batches']}")
+
+        stage_sum = sum(
+            entry.get("count", 0)
+            for name, entry in registry.items()
+            if name.startswith("crew/scoring/predictions/"))
+        if stage_sum != total:
+            fail(f"{label}: stage counters sum to {stage_sum}, "
+                 f"total is {total}")
+        checked += 1
+
+    if checked == 0:
+        fail("no cell carries a registry block "
+             "(was the bench run with --metrics?)")
+    missing = [name for name in REQUIRED_ANYWHERE if name not in seen_names]
+    if missing:
+        fail(f"required metrics never appeared: {missing}")
+    print(f"validate_metrics: OK: {checked} cell(s) checked, "
+          f"{len(seen_names)} distinct metric name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

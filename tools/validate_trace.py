@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by --trace=<file>.
+
+Checks (stdlib only, no third-party deps):
+  * the file parses as JSON and has a non-empty "traceEvents" list;
+  * every event is a complete ("ph" == "X") event carrying name, cat,
+    pid, tid, ts and dur with sane types/values;
+  * per tid, events are well-nested: sorted by (ts, -dur), each event
+    lies inside the enclosing open span (small epsilon for rounding,
+    since ts/dur are microseconds with 3 decimals).
+
+Usage: tools/validate_trace.py trace.json [--min-events N]
+Exit code 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+EPS_US = 0.002  # ts/dur carry 3 decimals; allow one rounding ulp per edge
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="require at least this many events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-list "traceEvents"')
+    if len(events) < args.min_events:
+        fail(f"expected >= {args.min_events} events, got {len(events)}")
+
+    for i, ev in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"event {i} missing {key!r}: {ev}")
+        if ev["ph"] != "X":
+            fail(f"event {i} has ph={ev['ph']!r}, want 'X'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"event {i} has empty/non-string name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int) or ev[key] <= 0:
+                fail(f"event {i} has bad {key}: {ev[key]!r}")
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+                fail(f"event {i} has bad {key}: {ev[key]!r}")
+
+    # Nesting check per thread. Sorting by (ts, -dur) puts parents before
+    # their children; a stack of open spans then catches any overlap that
+    # is not containment.
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, tid_events in sorted(by_tid.items()):
+        tid_events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in tid_events:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - EPS_US:
+                stack.pop()
+            if stack:
+                p_start = stack[-1]["ts"]
+                p_end = p_start + stack[-1]["dur"]
+                if start < p_start - EPS_US or end > p_end + EPS_US:
+                    fail(f"tid {tid}: {ev['name']!r} [{start}, {end}] not "
+                         f"nested in {stack[-1]['name']!r} "
+                         f"[{p_start}, {p_end}]")
+            stack.append(ev)
+
+    tids = sorted(by_tid)
+    names = sorted({ev["name"] for ev in events})
+    print(f"validate_trace: OK: {len(events)} events, "
+          f"{len(tids)} thread(s), {len(names)} distinct span name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
