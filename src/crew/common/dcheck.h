@@ -1,0 +1,65 @@
+#ifndef CREW_COMMON_DCHECK_H_
+#define CREW_COMMON_DCHECK_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "crew/common/logging.h"
+
+/// Debug-only invariant checks.
+///
+/// CREW_CHECK (crew/common/logging.h) is for invariants cheap enough to keep
+/// in every build; the CREW_DCHECK family guards hot-path preconditions —
+/// per-element bounds checks, per-call shape checks — whose cost would be
+/// measurable in Release scoring loops, so it compiles out when NDEBUG is
+/// defined. The sanitizer CI jobs build with CREW_FORCE_DCHECK so ASan/UBSan
+/// runs keep every check active on top of optimized code.
+///
+/// Policy: use CREW_CHECK for API contracts violated by *callers outside the
+/// library* (bad config, mismatched schemas) and CREW_DCHECK for internal
+/// invariants that a correct library upholds by construction (index bounds,
+/// buffer shapes). A disabled CREW_DCHECK still type-checks its condition,
+/// so Release-only builds cannot rot a check that Debug compiles.
+
+#if defined(CREW_FORCE_DCHECK) || !defined(NDEBUG)
+#define CREW_DCHECK_IS_ON 1
+#else
+#define CREW_DCHECK_IS_ON 0
+#endif
+
+namespace crew::internal_dcheck {
+
+/// Sign-safe `0 <= index < size` usable with any mix of signed/unsigned
+/// integer types (avoids -Wsign-compare at call sites).
+template <typename I, typename S>
+constexpr bool InBounds(I index, S size) {
+  if constexpr (std::is_signed_v<I>) {
+    if (index < 0) return false;
+  }
+  if constexpr (std::is_signed_v<S>) {
+    if (size < 0) return false;
+  }
+  return static_cast<std::uint64_t>(index) < static_cast<std::uint64_t>(size);
+}
+
+}  // namespace crew::internal_dcheck
+
+#if CREW_DCHECK_IS_ON
+#define CREW_DCHECK(condition) CREW_CHECK(condition)
+#else
+// Never evaluated at runtime (the branch is constant-false and the fatal
+// message object is only constructed inside it), but the condition still
+// compiles, so it cannot silently break in Release-only code paths.
+#define CREW_DCHECK(condition) \
+  if (false && (condition)) CREW_LOG_FATAL << ""
+#endif
+
+/// Shape equality; cast operands to a common type at the call site when the
+/// signedness differs (matches the existing CREW_CHECK idiom).
+#define CREW_DCHECK_EQ(a, b) CREW_DCHECK((a) == (b))
+
+/// Bounds check for container indexing: 0 <= index < size.
+#define CREW_DCHECK_BOUNDS(index, size) \
+  CREW_DCHECK(::crew::internal_dcheck::InBounds((index), (size)))
+
+#endif  // CREW_COMMON_DCHECK_H_

@@ -82,6 +82,7 @@ class FatalLogMessage : public LogMessage {
   if (::crew::Status crew_check_ok_tmp_ = (expr); !crew_check_ok_tmp_.ok()) \
   CREW_LOG_FATAL << "CHECK_OK failed: " << crew_check_ok_tmp_.ToString() << " "
 
-#define CREW_DCHECK(condition) CREW_CHECK(condition)
+// CREW_DCHECK and friends (debug-only checks, compiled out in Release) live
+// in crew/common/dcheck.h.
 
 #endif  // CREW_COMMON_LOGGING_H_

@@ -5,7 +5,7 @@
 #include <random>
 #include <vector>
 
-#include "crew/common/logging.h"
+#include "crew/common/dcheck.h"
 
 namespace crew {
 

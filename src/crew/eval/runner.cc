@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "crew/common/dcheck.h"
 #include "crew/common/logging.h"
 #include "crew/common/metrics.h"
 #include "crew/common/thread_pool.h"
@@ -91,6 +92,9 @@ class ProgressMeter {
         static_cast<double>(now - start_ns_) / 1e9;
     const double rate = elapsed_s > 0.0 ? done / elapsed_s : 0.0;
     const std::string label = ProgressLabel();
+    // crew-lint: allow(raw-stdio): heartbeats are a raw operator channel by
+    // design — no severity tag or timestamp prefix, so progress lines stay
+    // grep-able and CREW_MIN_LOG_LEVEL cannot silence them.
     std::fprintf(stderr, "[progress] %s%s%d/%d instances (%.1f/s)\n",
                  label.c_str(), label.empty() ? "" : " ", done, total_, rate);
   }
@@ -129,6 +133,7 @@ Result<InstanceEvaluation> EvaluateInstance(
     int index, const EmbeddingStore* embeddings, uint64_t seed,
     const InstanceEvalOptions& options) {
   CREW_TRACE_SPAN("runner/instance");
+  CREW_DCHECK_BOUNDS(index, test.size());
   RunnerMetrics& rm = Runner();
   rm.instances->Increment();
   ScopedDuration wall(rm.instance_wall);
@@ -206,6 +211,7 @@ Result<std::vector<InstanceEvaluation>> EvaluateInstances(
     const std::vector<int>& indices, const EmbeddingStore* embeddings,
     uint64_t seed, const InstanceEvalOptions& options) {
   const int n = static_cast<int>(indices.size());
+  for (int index : indices) CREW_DCHECK_BOUNDS(index, test.size());
   std::vector<InstanceEvaluation> records(n);
   std::vector<Status> errors(n);
   ProgressMeter progress(n);

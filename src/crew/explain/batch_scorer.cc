@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <string>
 
-#include "crew/common/logging.h"
+#include "crew/common/dcheck.h"
 #include "crew/common/metrics.h"
 #include "crew/common/thread_pool.h"
 #include "crew/common/timer.h"
@@ -136,6 +136,7 @@ void BatchScorer::ScoreKeepMasks(const std::vector<std::vector<bool>>& keeps,
   ScoreMaterialized(
       matcher_, static_cast<int>(keeps.size()),
       [this, &keeps](int i, RecordPair* slot) {
+        CREW_DCHECK_EQ(static_cast<int>(keeps[i].size()), view_->size());
         view_->MaterializeInto(keeps[i], slot);
       },
       out);
@@ -151,6 +152,8 @@ void BatchScorer::ScoreInjectionMasks(
   ScoreMaterialized(
       matcher_, static_cast<int>(keeps.size()),
       [this, &keeps, &injects](int i, RecordPair* slot) {
+        CREW_DCHECK_EQ(static_cast<int>(keeps[i].size()), view_->size());
+        CREW_DCHECK_EQ(static_cast<int>(injects[i].size()), view_->size());
         view_->MaterializeWithInjectionInto(keeps[i], injects[i], slot);
       },
       out);
@@ -179,6 +182,7 @@ void BatchScorer::ScorePairs(const std::vector<RecordPair>& pairs,
 
 double BatchScorer::ScoreKeepMask(const std::vector<bool>& keep) const {
   CREW_CHECK(view_ != nullptr);
+  CREW_DCHECK_EQ(static_cast<int>(keep.size()), view_->size());
   CountBatch(1);
   WallTimer timer;
   RecordPair pair;

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "crew/common/logging.h"
+#include "crew/common/dcheck.h"
 
 namespace crew::la {
 

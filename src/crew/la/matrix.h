@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "crew/common/dcheck.h"
 #include "crew/la/vector_ops.h"
 
 namespace crew::la {
@@ -23,14 +24,24 @@ class Matrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
 
-  double& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double& At(int r, int c) {
+    CREW_DCHECK_BOUNDS(r, rows_);
+    CREW_DCHECK_BOUNDS(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
   double At(int r, int c) const {
+    CREW_DCHECK_BOUNDS(r, rows_);
+    CREW_DCHECK_BOUNDS(c, cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
   /// Pointer to the start of row `r` (contiguous, `cols()` entries).
-  double* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  double* Row(int r) {
+    CREW_DCHECK_BOUNDS(r, rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const double* Row(int r) const {
+    CREW_DCHECK_BOUNDS(r, rows_);
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crew/common/dcheck.h"
 #include "crew/common/status.h"
 #include "crew/la/matrix.h"
 
@@ -19,7 +20,11 @@ class SymmetricSparse {
 
   /// Adds `value` at (r, c); caller is responsible for symmetry (add both
   /// (r,c) and (c,r), or use SetSymmetric).
-  void Add(int r, int c, double value) { rows_[r].push_back({c, value}); }
+  void Add(int r, int c, double value) {
+    CREW_DCHECK_BOUNDS(r, n_);
+    CREW_DCHECK_BOUNDS(c, n_);
+    rows_[r].push_back({c, value});
+  }
 
   /// Adds `value` at (r, c) and, when r != c, at (c, r).
   void SetSymmetric(int r, int c, double value) {

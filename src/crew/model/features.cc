@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "crew/common/logging.h"
+#include "crew/common/dcheck.h"
 #include "crew/text/string_similarity.h"
 
 namespace crew {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "crew/common/logging.h"
+#include "crew/common/dcheck.h"
 
 namespace crew {
 
