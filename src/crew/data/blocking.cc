@@ -57,14 +57,23 @@ std::vector<std::pair<int, int>> TokenBlocker::GenerateCandidates(
 
   std::vector<std::pair<int, int>> candidates;
   std::vector<std::pair<int, int64_t>> scored;  // (count, key)
+  // crew-lint: allow(unordered-iter): selection below uses a strict total
+  // order (count desc, key asc), so the kept set is independent of the
+  // hash map's iteration order.
   for (const auto& [key, count] : shared) {
     if (count >= config_.min_shared_tokens) scored.push_back({count, key});
   }
   if (config_.max_candidates > 0 &&
       static_cast<int>(scored.size()) > config_.max_candidates) {
+    // Tie-break by (left, right) key: with count alone, pairs tied at the
+    // cutoff would be kept or dropped by hash-iteration order, making the
+    // candidate set (and everything trained on it) non-reproducible.
     std::partial_sort(
         scored.begin(), scored.begin() + config_.max_candidates, scored.end(),
-        [](const auto& a, const auto& b) { return a.first > b.first; });
+        [](const auto& a, const auto& b) {
+          if (a.first != b.first) return a.first > b.first;
+          return a.second < b.second;
+        });
     scored.resize(config_.max_candidates);
   }
   candidates.reserve(scored.size());
