@@ -1,8 +1,10 @@
 #ifndef CREW_EMBED_COOCCURRENCE_H_
 #define CREW_EMBED_COOCCURRENCE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "crew/data/dataset.h"
@@ -42,10 +44,22 @@ class CooccurrenceCounter {
   /// Total of all pair counts.
   int64_t Total() const { return total_; }
 
-  /// Iterates stored (i, j, count) with i <= j.
+  /// Iterates stored (i, j, count) with i <= j, in ascending (i, j) order.
+  ///
+  /// `counts_` is a hash map, so emitting triples in bucket order would leak
+  /// hash-iteration order into callers: BuildPpmiMatrix inserts into
+  /// SymmetricSparse rows in visit order, and row-entry order decides the
+  /// floating-point summation order of MatVec during the eigen iteration.
+  /// Sorting the keys first makes the emitted triples — and every embedding
+  /// derived from them — canonical across platforms and hash
+  /// implementations.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (const auto& [key, count] : counts_) {
+    std::vector<std::pair<uint64_t, int64_t>> entries(
+        counts_.begin(),  // crew-lint: allow(unordered-iter): sorted below
+        counts_.end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [key, count] : entries) {
       fn(static_cast<int>(key >> 32), static_cast<int>(key & 0xffffffff),
          count);
     }
