@@ -1,0 +1,9 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// Fixture: guard does not match the canonical CREW_<PATH>_H_ form, which
+// violates [include-guard].
+
+inline int Answer() { return 42; }
+
+#endif  // WRONG_GUARD_NAME_H

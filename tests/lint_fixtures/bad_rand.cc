@@ -1,0 +1,10 @@
+// Fixture: every randomness source here violates [rand-source].
+#include <cstdlib>
+#include <random>
+
+int UnseededDraws() {
+  std::random_device rd;      // finding: non-reproducible entropy source
+  std::srand(42);             // finding: global C RNG state
+  int x = rand() % 10;        // finding: global C RNG draw
+  return x + static_cast<int>(rd());
+}

@@ -1,0 +1,10 @@
+// Fixture: raw stdout/stderr in library code violates [raw-stdio].
+#include <cstdio>
+#include <iostream>
+
+void Report(double score) {
+  std::cout << "score=" << score << "\n";      // finding
+  std::cerr << "warning: low score\n";         // finding
+  std::printf("score=%f\n", score);            // finding
+  fprintf(stderr, "warning: low score\n");     // finding
+}

@@ -1,0 +1,14 @@
+// Fixture: compute-path control flow observing tracing state violates
+// [trace-mutate].
+bool TracingEnabled();
+
+double ScoreWithTraceLeak(double x) {
+  if (TracingEnabled()) {        // finding: result depends on tracing
+    x += 1.0;
+  }
+  bool traced = TracingEnabled();  // finding: observability value consumed
+  while (TracingEnabled()) {     // finding: loop bound on tracing state
+    break;
+  }
+  return traced ? x : -x;
+}

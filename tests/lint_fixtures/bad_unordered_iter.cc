@@ -1,0 +1,21 @@
+// Fixture: iterating unordered containers violates [unordered-iter].
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using TagSet = std::unordered_set<std::string>;
+
+double SumInHashOrder(const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [token, w] : weights) {  // finding: range-for over map
+    total += w * total;                     // order-dependent accumulation
+  }
+  return total;
+}
+
+std::vector<std::string> FirstTags(const TagSet& tags) {
+  std::vector<std::string> out;
+  out.assign(tags.begin(), tags.end());  // finding: .begin() on alias type
+  return out;
+}

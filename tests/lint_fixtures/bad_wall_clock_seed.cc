@@ -1,0 +1,15 @@
+// Fixture: seeding RNGs from the wall clock violates [wall-clock-seed].
+#include <chrono>
+#include <ctime>
+#include <random>
+
+std::mt19937_64 ClockSeededEngine() {
+  // finding: seed derived from the wall clock
+  std::mt19937_64 engine(std::chrono::steady_clock::now().time_since_epoch().count());
+  return engine;
+}
+
+unsigned TimeSeed() {
+  unsigned seed = static_cast<unsigned>(time(nullptr));  // finding
+  return seed;
+}

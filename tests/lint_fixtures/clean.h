@@ -1,0 +1,21 @@
+#ifndef CREW_TESTS_LINT_FIXTURES_CLEAN_H_
+#define CREW_TESTS_LINT_FIXTURES_CLEAN_H_
+
+// Fixture: a fully conforming header — canonical guard, no banned
+// constructs. The lint must report nothing here.
+
+#include <cstdint>
+#include <vector>
+
+namespace crew_lint_fixture {
+
+/// Sums deterministically over an index-ordered vector.
+inline double OrderedSum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+}  // namespace crew_lint_fixture
+
+#endif  // CREW_TESTS_LINT_FIXTURES_CLEAN_H_

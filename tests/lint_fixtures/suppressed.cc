@@ -1,0 +1,24 @@
+// Fixture: the same violation classes as the bad_* files, each silenced by
+// a crew-lint suppression — the lint must report nothing here.
+#include <string>
+#include <unordered_map>
+
+double OrderIndependentSum(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  // crew-lint: allow(unordered-iter): plain sum; addition order only
+  // perturbs the last ulp and nothing downstream compares bits.
+  for (const auto& [token, w] : weights) {
+    total += w;
+  }
+  return total;
+}
+
+int InlineSuppressed(const std::unordered_map<std::string, double>& weights) {
+  int n = 0;
+  for (auto it = weights.begin();  // crew-lint: allow(unordered-iter): count
+       it != weights.end(); ++it) {
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,8 @@
+// Fixture: a file-level suppression silences a rule everywhere in the file.
+// crew-lint: allow-file(raw-stdio): fixture exercising file-wide allows.
+#include <cstdio>
+
+void PrintTwice(double v) {
+  std::printf("%f\n", v);
+  std::printf("%f\n", v);
+}
