@@ -1,5 +1,8 @@
 #include "crew/common/logging.h"
 
+// crew-lint: allow-file(raw-stdio): this file *is* the CREW_LOG sink; the
+// fprintf(stderr) here is where every library log line ultimately lands.
+
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>

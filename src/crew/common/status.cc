@@ -44,6 +44,8 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 namespace internal_status {
 
 void DieOnBadResult(const Status& status) {
+  // crew-lint: allow(raw-stdio): last-gasp death path; deliberately avoids
+  // the logging layer so it cannot fail during static teardown.
   std::fprintf(stderr, "crew: Result<T>::value() on error: %s\n",
                status.ToString().c_str());
   std::abort();

@@ -32,6 +32,11 @@ struct NoiseConfig {
 };
 
 /// Domain-specific synonym table: token -> interchangeable surface forms.
+///
+/// Iteration-order audit (crew-lint unordered-iter): the table is only ever
+/// probed with find() on the token being rewritten — the noise channels
+/// never iterate it — so the hash map's bucket order cannot leak into
+/// generated datasets.
 using SynonymTable = std::unordered_map<std::string, std::vector<std::string>>;
 
 /// Applies the configured noise channels to `record` in place.

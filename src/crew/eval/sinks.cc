@@ -88,6 +88,9 @@ Table MakeCellTable(const std::vector<ExperimentCell>& cells,
 Status TableSink::Consume(const ExperimentResult& result) {
   const Table table =
       MakeCellTable(result.cells, columns_, dataset_column_, variant_column_);
+  // crew-lint: allow(raw-stdio): sinks write the experiment's *product*
+  // (aligned tables) to the caller-supplied stream; this is serialized
+  // output, not diagnostics.
   std::fprintf(out_, "%s\n", table.ToAligned().c_str());
   if (result.include_metrics) {
     std::vector<MetricsSnapshot> deltas;
@@ -97,6 +100,8 @@ Status TableSink::Consume(const ExperimentResult& result) {
     }
     const MetricsSnapshot total = MetricsSum(deltas);
     if (!total.empty()) {
+      // crew-lint: allow(raw-stdio): same caller-supplied product stream as
+      // the table above.
       std::fprintf(out_, "-- metrics (summed over cells) --\n%s\n",
                    MetricsSnapshotTable(total).ToAligned().c_str());
     }

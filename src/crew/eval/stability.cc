@@ -10,6 +10,8 @@ double TopKJaccard(const std::vector<std::string>& a,
   std::unordered_set<std::string> sb(b.begin(), b.end());
   if (sa.empty() && sb.empty()) return 1.0;
   int inter = 0;
+  // crew-lint: allow(unordered-iter): accumulates an order-independent
+  // integer count; no output depends on visit order.
   for (const auto& t : sa) {
     if (sb.count(t) > 0) ++inter;
   }

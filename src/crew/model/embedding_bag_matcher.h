@@ -50,6 +50,11 @@ class EmbeddingBagMatcher : public Matcher {
   /// a perturbation batch re-encodes hundreds of variants of one pair, so
   /// after the first variant almost every token resolves from the cache
   /// and the aligned-fraction loop runs on ids (no hashing) only.
+  ///
+  /// Iteration-order audit (crew-lint unordered-iter): `token_ids` is
+  /// lookup-only (ResolveIds probes it per token in token order); encoded
+  /// features are laid out by schema attribute and token position, so
+  /// hash-bucket order never reaches the feature vector.
   struct EncodeScratch {
     std::vector<std::string> left_tokens, right_tokens;
     std::vector<int> left_ids, right_ids;

@@ -85,11 +85,13 @@ std::unordered_set<std::string_view> ToSet(const std::vector<std::string>& v) {
   return s;
 }
 
-int IntersectionSize(const std::unordered_set<std::string_view>& a,
-                     const std::unordered_set<std::string_view>& b) {
-  const auto& small = a.size() <= b.size() ? a : b;
-  const auto& large = a.size() <= b.size() ? b : a;
+int IntersectionSize(const std::unordered_set<std::string_view>& set_a,
+                     const std::unordered_set<std::string_view>& set_b) {
+  const auto& small = set_a.size() <= set_b.size() ? set_a : set_b;
+  const auto& large = set_a.size() <= set_b.size() ? set_b : set_a;
   int n = 0;
+  // crew-lint: allow(unordered-iter): accumulates an order-independent
+  // integer count; no output depends on visit order.
   for (const auto& t : small) {
     if (large.count(t) > 0) ++n;
   }

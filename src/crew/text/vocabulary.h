@@ -48,6 +48,10 @@ class Vocabulary {
   std::vector<int> TopKByCount(int k) const;
 
  private:
+  // Iteration-order audit (crew-lint unordered-iter): the hash map is
+  // lookup-only; every ordered traversal (Pruned, TopKByCount, embedding
+  // matrix indexing) runs over the insertion-ordered parallel vectors, so
+  // no output depends on hash-bucket order.
   std::unordered_map<std::string, int> id_by_token_;
   std::vector<std::string> tokens_;
   std::vector<int64_t> counts_;
