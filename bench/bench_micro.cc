@@ -188,7 +188,11 @@ void BM_SgnsEpoch(benchmark::State& state) {
   for (int s = 0; s < 200; ++s) {
     std::vector<std::string> sentence;
     for (int w = 0; w < 12; ++w) {
-      sentence.push_back("w" + std::to_string(rng.UniformInt(300)));
+      // Append instead of operator+: avoids GCC 12's -Wrestrict false
+      // positive (PR105651) under -O2, promoted to an error by -Werror.
+      std::string word = "w";
+      word += std::to_string(rng.UniformInt(300));
+      sentence.push_back(std::move(word));
     }
     corpus.push_back(std::move(sentence));
   }

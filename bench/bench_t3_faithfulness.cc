@@ -54,9 +54,15 @@ int main(int argc, char** argv) {
       auto cmp = crew::PairedBootstrap(crew_samples, samples, 2000,
                                        options.seed);
       if (!cmp.ok()) continue;
-      sig.AddRow({name, crew::Table::Num(cmp->mean_difference),
-                  "[" + crew::Table::Num(cmp->ci_low) + ", " +
-                      crew::Table::Num(cmp->ci_high) + "]",
+      // Built with append: the operator+ chain trips GCC 12's -Wrestrict
+      // false positive (PR105651) when inlined at -O2, which -Werror
+      // would promote.
+      std::string ci = "[";
+      ci += crew::Table::Num(cmp->ci_low);
+      ci += ", ";
+      ci += crew::Table::Num(cmp->ci_high);
+      ci += "]";
+      sig.AddRow({name, crew::Table::Num(cmp->mean_difference), ci,
                   crew::Table::Num(cmp->p_value)});
     }
     std::printf("%s\n", sig.ToAligned().c_str());
