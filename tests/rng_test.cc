@@ -132,7 +132,9 @@ TEST(RngTest, ForkIsDeterministicAndIndependent) {
   Rng fork1 = a.Fork(1);
   Rng fork1_again = Rng(55).Fork(1);
   Rng fork2 = a.Fork(2);
+  Rng fork2_again = Rng(55).Fork(2);
   EXPECT_EQ(fork1.NextRaw(), fork1_again.NextRaw());
+  EXPECT_EQ(fork2.NextRaw(), fork2_again.NextRaw());
   Rng f1 = Rng(55).Fork(1);
   Rng f2 = Rng(55).Fork(2);
   EXPECT_NE(f1.NextRaw(), f2.NextRaw());
