@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   auto spec = crew::bench::SpecFromOptions("f1_deletion_curve", options);
   spec.eval.curve_fractions = fractions;
   crew::ExperimentRunner runner(std::move(spec));
-  auto result = runner.Run();
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  auto result = runner.Run(setup.hooks);
   crew::bench::DieIfError(result.status());
 
   std::vector<std::string> header = {"explainer"};

@@ -58,6 +58,11 @@ int main(int argc, char** argv) {
   std::vector<crew::PreparedDataset> prepared_all;
   prepared_all.push_back(std::move(prepared.value()));
 
+  // One StreamSetup for the whole sweep: every point appends to the same
+  // checkpoint/shard, disambiguated by a per-point "samples=N" scope. The
+  // "samples" metric is stamped after the runner returns, so fresh and
+  // restored cells take the same path and resumed JSON stays identical.
+  const auto setup = crew::bench::MakeStreamSetup(options);
   crew::ExperimentResult result;
   result.name = base_spec.name;
   for (int samples : sweep) {
@@ -69,8 +74,12 @@ int main(int argc, char** argv) {
       return crew::NameSuite(crew::BuildExplainerSuite(
           pipeline.embeddings, pipeline.train, config));
     };
+    crew::RunHooks hooks = setup.hooks;
+    hooks.scope = "samples=";  // += below: GCC 12 -Wrestrict (PR105651)
+    hooks.scope += std::to_string(samples);
+    if (setup.stream != nullptr) setup.stream->set_scope(hooks.scope);
     crew::ExperimentRunner runner(std::move(spec));
-    auto swept = runner.RunPrepared(prepared_all);
+    auto swept = runner.RunPrepared(prepared_all, hooks);
     crew::bench::DieIfError(swept.status());
     if (result.params.empty()) result.params = swept->params;
     for (auto& cell : swept->cells) {

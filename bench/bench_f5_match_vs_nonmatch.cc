@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
 
   crew::ExperimentRunner runner(
       crew::bench::SpecFromOptions("f5_match_vs_nonmatch", options));
-  auto result = runner.Run();
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  auto result = runner.Run(setup.hooks);
   crew::bench::DieIfError(result.status());
 
   // The split is a filtered re-reduction of the per-instance records the

@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
     return suite;
   };
   crew::ExperimentRunner runner(std::move(spec));
-  auto result = runner.Run();
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  auto result = runner.Run(setup.hooks);
   crew::bench::DieIfError(result.status());
 
   crew::ExperimentResult summary;

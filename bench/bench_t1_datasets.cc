@@ -18,24 +18,38 @@ int main(int argc, char** argv) {
   crew::ExperimentResult result;
   result.name = "t1_datasets";
   result.params.push_back({"seed", std::to_string(options.seed)});
+  // No ExperimentRunner here, so the streaming/restart plumbing is driven
+  // directly: restored cells skip the dataset generation entirely.
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  crew::CellStreamer streamer(setup.hooks);
+  const auto entries = options.Datasets();
+  crew::bench::DieIfError(
+      streamer.Begin(result, static_cast<int>(entries.size())));
   crew::Tokenizer tokenizer;
-  for (const auto& entry : options.Datasets()) {
-    auto dataset = crew::GenerateDataset(entry.config);
-    crew::bench::DieIfError(dataset.status());
-    const auto stats = crew::ComputeStats(dataset.value(), tokenizer);
+  for (const auto& entry : entries) {
     crew::ExperimentCell cell;
-    cell.dataset = entry.name;
-    cell.variant = "stats";
-    cell.metrics = {
-        {"pairs", static_cast<double>(stats.pairs)},
-        {"match_pct", 100.0 * stats.match_ratio},
-        {"vocab", static_cast<double>(stats.vocabulary_size)},
-        {"tokens_per_rec", stats.avg_tokens_per_record},
-        {"jaccard_match", stats.avg_token_overlap_match},
-        {"jaccard_nonmatch", stats.avg_token_overlap_nonmatch},
-    };
+    auto restored = streamer.TryRestore(entry.name, "stats", &cell);
+    crew::bench::DieIfError(restored.status());
+    if (!*restored) {
+      crew::bench::DieIfError(streamer.BeforeFreshCell());
+      auto dataset = crew::GenerateDataset(entry.config);
+      crew::bench::DieIfError(dataset.status());
+      const auto stats = crew::ComputeStats(dataset.value(), tokenizer);
+      cell.dataset = entry.name;
+      cell.variant = "stats";
+      cell.metrics = {
+          {"pairs", static_cast<double>(stats.pairs)},
+          {"match_pct", 100.0 * stats.match_ratio},
+          {"vocab", static_cast<double>(stats.vocabulary_size)},
+          {"tokens_per_rec", stats.avg_tokens_per_record},
+          {"jaccard_match", stats.avg_token_overlap_match},
+          {"jaccard_nonmatch", stats.avg_token_overlap_nonmatch},
+      };
+      crew::bench::DieIfError(streamer.Emit(cell));
+    }
     result.cells.push_back(std::move(cell));
   }
+  crew::bench::DieIfError(streamer.Finish(result));
 
   crew::bench::EmitExperiment(
       result, options,

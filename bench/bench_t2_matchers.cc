@@ -8,6 +8,7 @@
 //   ./bench_t2_matchers [--matches 250] [--nonmatches 350] [--seed 7]
 
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.h"
 
@@ -18,26 +19,47 @@ int main(int argc, char** argv) {
   crew::ExperimentResult result;
   result.name = "t2_matchers";
   result.params.push_back({"seed", std::to_string(options.seed)});
-  for (const auto& entry : options.Datasets()) {
-    auto dataset = crew::GenerateDataset(entry.config);
-    crew::bench::DieIfError(dataset.status());
-    for (crew::MatcherKind kind : crew::AllMatcherKinds()) {
-      auto pipeline =
-          crew::TrainPipeline(dataset.value(), kind, 0.7, options.seed);
-      crew::bench::DieIfError(pipeline.status());
-      const auto& m = pipeline.value().test_metrics;
+  // No ExperimentRunner here, so the streaming/restart plumbing is driven
+  // directly. Restored cells skip TrainPipeline (the expensive part); the
+  // dataset is generated lazily so a fully restored row costs nothing.
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  crew::CellStreamer streamer(setup.hooks);
+  const auto entries = options.Datasets();
+  const auto kinds = crew::AllMatcherKinds();
+  crew::bench::DieIfError(streamer.Begin(
+      result, static_cast<int>(entries.size() * kinds.size())));
+  for (const auto& entry : entries) {
+    std::optional<crew::Dataset> dataset;
+    for (crew::MatcherKind kind : kinds) {
       crew::ExperimentCell cell;
-      cell.dataset = entry.name;
-      cell.variant = crew::MatcherKindName(kind);
-      cell.metrics = {
-          {"precision", m.Precision()},
-          {"recall", m.Recall()},
-          {"f1", m.F1()},
-          {"threshold", pipeline.value().matcher->threshold()},
-      };
+      auto restored =
+          streamer.TryRestore(entry.name, crew::MatcherKindName(kind), &cell);
+      crew::bench::DieIfError(restored.status());
+      if (!*restored) {
+        crew::bench::DieIfError(streamer.BeforeFreshCell());
+        if (!dataset.has_value()) {
+          auto generated = crew::GenerateDataset(entry.config);
+          crew::bench::DieIfError(generated.status());
+          dataset = std::move(generated.value());
+        }
+        auto pipeline =
+            crew::TrainPipeline(*dataset, kind, 0.7, options.seed);
+        crew::bench::DieIfError(pipeline.status());
+        const auto& m = pipeline.value().test_metrics;
+        cell.dataset = entry.name;
+        cell.variant = crew::MatcherKindName(kind);
+        cell.metrics = {
+            {"precision", m.Precision()},
+            {"recall", m.Recall()},
+            {"f1", m.F1()},
+            {"threshold", pipeline.value().matcher->threshold()},
+        };
+        crew::bench::DieIfError(streamer.Emit(cell));
+      }
       result.cells.push_back(std::move(cell));
     }
   }
+  crew::bench::DieIfError(streamer.Finish(result));
 
   crew::bench::EmitExperiment(
       result, options,

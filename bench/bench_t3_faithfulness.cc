@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
 
   crew::ExperimentRunner runner(
       crew::bench::SpecFromOptions("t3_faithfulness", options));
-  auto result = runner.Run();
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  auto result = runner.Run(setup.hooks);
   crew::bench::DieIfError(result.status());
 
   crew::bench::EmitExperiment(

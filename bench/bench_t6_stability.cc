@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
   spec.eval.stability_seeds = seeds;
   spec.eval.stability_top_k = top_k;
   crew::ExperimentRunner runner(std::move(spec));
-  auto result = runner.Run();
+  const auto setup = crew::bench::MakeStreamSetup(options);
+  auto result = runner.Run(setup.hooks);
   crew::bench::DieIfError(result.status());
 
   crew::bench::EmitExperiment(

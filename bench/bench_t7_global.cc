@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   crew::ExperimentRunner runner(
       crew::bench::SpecFromOptions("t7_global", options));
+  const auto setup = crew::bench::MakeStreamSetup(options);
   auto result = runner.RunWith([&](const crew::PreparedDataset& prepared,
                                    crew::ExperimentResult* out) -> crew::Status {
     crew::CrewConfig config;
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     }
     out->cells.push_back(std::move(cell));
     return crew::Status::Ok();
-  });
+  }, setup.hooks);
   crew::bench::DieIfError(result.status());
 
   crew::bench::EmitExperiment(

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "crew/eval/experiment.h"
 #include "crew/eval/runner.h"
 #include "crew/eval/sinks.h"
+#include "crew/eval/streaming.h"
 #include "crew/eval/table.h"
 #include "crew/model/trainer.h"
 
@@ -34,6 +36,12 @@ struct BenchOptions {
   std::string trace;     ///< non-empty: record spans, write Chrome trace here
   bool metrics = false;  ///< emit the per-cell metrics-registry breakdown
   double progress = 1.0; ///< seconds between progress heartbeats; <=0 = off
+  // Streaming / crash-recovery knobs (see DESIGN.md "Streaming & resume").
+  std::string resume;    ///< non-empty: checkpoint path; skip done cells
+  std::string stream;    ///< non-empty: stream per-cell JSONL shard here
+  int fail_after_cells = -1;  ///< >= 0: inject a deterministic fault
+  bool stable_timing = false; ///< zero wall-derived outputs (byte-stable)
+  bool live_table = false;    ///< re-render a partial table per cell
 
   static BenchOptions Parse(int argc, char** argv) {
     FlagParser flags(argc, argv);
@@ -54,9 +62,16 @@ struct BenchOptions {
     o.trace = flags.GetString("trace", o.trace);
     o.metrics = flags.GetBool("metrics", o.metrics);
     o.progress = flags.GetDouble("progress", o.progress);
+    o.resume = flags.GetString("resume", o.resume);
+    o.stream = flags.GetString("stream", o.stream);
+    o.fail_after_cells =
+        flags.GetInt("fail-after-cells", o.fail_after_cells);
+    o.stable_timing = flags.GetBool("stable-timing", o.stable_timing);
+    o.live_table = flags.GetBool("live-table", o.live_table);
     SetScoringThreads(o.threads);
     SetProgressInterval(o.progress);
     SetTracingEnabled(!o.trace.empty());
+    SetStableTiming(o.stable_timing);
     return o;
   }
 
@@ -87,6 +102,47 @@ inline void DieIfError(const Status& status) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// Owns the streaming/restart plumbing assembled from the shared flags —
+/// checkpoint store (--resume, loaded eagerly), JSONL shard sink
+/// (--stream), live partial table (--live-table), and fault injector
+/// (--fail-after-cells / CREW_FAULT_SEED / CREW_FAULT_HARD) — and exposes
+/// them as the RunHooks view ExperimentRunner consumes. The hooks hold raw
+/// pointers into this struct, so keep it alive for the whole run.
+struct StreamSetup {
+  std::unique_ptr<CheckpointStore> checkpoint;
+  std::unique_ptr<JsonlStreamSink> stream;
+  std::unique_ptr<PartialTableSink> live;
+  std::unique_ptr<FaultInjector> fault;
+  RunHooks hooks;
+};
+
+inline StreamSetup MakeStreamSetup(const BenchOptions& options,
+                                   std::string scope = std::string()) {
+  StreamSetup s;
+  s.hooks.scope = scope;
+  if (!options.resume.empty()) {
+    s.checkpoint = std::make_unique<CheckpointStore>(options.resume);
+    DieIfError(s.checkpoint->Load());
+    s.hooks.checkpoint = s.checkpoint.get();
+    if (s.checkpoint->done_cells() > 0) {
+      std::fprintf(stderr, "[resume] %s: %d cell(s) restored\n",
+                   options.resume.c_str(), s.checkpoint->done_cells());
+    }
+  }
+  if (!options.stream.empty()) {
+    s.stream =
+        std::make_unique<JsonlStreamSink>(options.stream, std::move(scope));
+    s.hooks.sinks.push_back(s.stream.get());
+  }
+  if (options.live_table) {
+    s.live = std::make_unique<PartialTableSink>();
+    s.hooks.sinks.push_back(s.live.get());
+  }
+  s.fault = FaultInjector::FromFlagsAndEnv(options.fail_after_cells);
+  if (s.fault != nullptr) s.hooks.fault = s.fault.get();
+  return s;
 }
 
 /// ExperimentSpec over the shared flags with the standard explainer

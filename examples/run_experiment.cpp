@@ -12,8 +12,19 @@
 //                             [--json result.json] [--seed 7]
 //                             [--trace trace.json] [--metrics]
 //                             [--progress 1.0]
+//                             [--resume ckpt.jsonl] [--stream cells.jsonl]
+//                             [--fail-after-cells N] [--stable-timing]
+//                             [--live-table]
+//
+// The streaming flags demonstrate the crash-safe execution layer: --resume
+// names a per-cell checkpoint that lets a restarted run skip finished
+// cells (bit-identically — per-cell seeds derive from the grid key, not
+// execution order), --stream appends each finished cell to a JSONL shard,
+// and --fail-after-cells injects a deterministic fault for testing the
+// resume path. See DESIGN.md "Streaming & resume".
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +34,7 @@
 #include "crew/data/benchmark_suite.h"
 #include "crew/eval/runner.h"
 #include "crew/eval/sinks.h"
+#include "crew/eval/streaming.h"
 #include "crew/explain/lime.h"
 #include "crew/model/trainer.h"
 
@@ -42,9 +54,16 @@ int main(int argc, char** argv) {
   const std::string trace = flags.GetString("trace", "");
   const bool metrics = flags.GetBool("metrics", false);
   const double progress = flags.GetDouble("progress", 1.0);
+  const std::string resume = flags.GetString("resume", "");
+  const std::string stream = flags.GetString("stream", "");
+  const int fail_after_cells =
+      static_cast<int>(flags.GetInt("fail-after-cells", -1));
+  const bool stable_timing = flags.GetBool("stable-timing", false);
+  const bool live_table = flags.GetBool("live-table", false);
   crew::SetScoringThreads(threads);
   crew::SetProgressInterval(progress);
   crew::SetTracingEnabled(!trace.empty());
+  crew::SetStableTiming(stable_timing);
 
   // 1. Declare the grid: datasets x matcher x explainer suite.
   crew::ExperimentSpec spec;
@@ -79,16 +98,48 @@ int main(int argc, char** argv) {
         pipeline.embeddings, pipeline.train, config));
   };
 
-  // 2. Execute: instances shard across the scoring pool; perturbation
+  // 2. Assemble the streaming hooks: a checkpoint store for --resume, a
+  //    JSONL shard for --stream, a live partial table, and the fault
+  //    injector (--fail-after-cells, or the CREW_FAULT_SEED /
+  //    CREW_FAULT_HARD environment knobs).
+  crew::RunHooks hooks;
+  std::unique_ptr<crew::CheckpointStore> checkpoint;
+  if (!resume.empty()) {
+    checkpoint = std::make_unique<crew::CheckpointStore>(resume);
+    if (auto status = checkpoint->Load(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (checkpoint->done_cells() > 0) {
+      std::fprintf(stderr, "[resume] %s: %d cell(s) restored\n",
+                   resume.c_str(), checkpoint->done_cells());
+    }
+    hooks.checkpoint = checkpoint.get();
+  }
+  std::unique_ptr<crew::JsonlStreamSink> shard;
+  if (!stream.empty()) {
+    shard = std::make_unique<crew::JsonlStreamSink>(stream);
+    hooks.sinks.push_back(shard.get());
+  }
+  std::unique_ptr<crew::PartialTableSink> live;
+  if (live_table) {
+    live = std::make_unique<crew::PartialTableSink>();
+    hooks.sinks.push_back(live.get());
+  }
+  std::unique_ptr<crew::FaultInjector> fault =
+      crew::FaultInjector::FromFlagsAndEnv(fail_after_cells);
+  if (fault != nullptr) hooks.fault = fault.get();
+
+  // 3. Execute: instances shard across the scoring pool; perturbation
   //    scoring nested inside a shard runs inline (one pool, two levels).
   crew::ExperimentRunner runner(std::move(spec));
-  auto result = runner.Run();
+  auto result = runner.Run(hooks);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
 
-  // 3. Emit through sinks: console table, then JSON if asked.
+  // 4. Emit through sinks: console table, then JSON if asked.
   result.value().include_metrics = metrics;
   crew::TableSink table({
       crew::AggColumn("aopc", &crew::ExplainerAggregate::aopc),

@@ -266,6 +266,15 @@ MetricsSnapshot MetricsSum(const std::vector<MetricsSnapshot>& snapshots) {
   return out;
 }
 
+MetricsSnapshot DropZeroMetrics(const MetricsSnapshot& snapshot) {
+  MetricsSnapshot out;
+  out.reserve(snapshot.size());
+  for (const MetricEntry& entry : snapshot) {
+    if (entry.count != 0 || entry.total_ms != 0.0) out.push_back(entry);
+  }
+  return out;
+}
+
 const char* CurrentMetricStage() {
   return t_stage == nullptr ? "other" : t_stage;
 }

@@ -143,7 +143,18 @@ MetricsSnapshot MetricsDelta(const MetricsSnapshot& after,
                              const MetricsSnapshot& before);
 
 /// Entry-wise sum of several snapshots, matched by name, sorted by name.
+/// The sorted-key merge is what keeps --metrics tables identical between a
+/// straight-through run and a resumed one, whose cell registries can
+/// arrive in a different order.
 MetricsSnapshot MetricsSum(const std::vector<MetricsSnapshot>& snapshots);
+
+/// Copy of `snapshot` without the all-zero entries (count == 0 and
+/// total_ms == 0). Per-cell registry deltas are filtered through this so a
+/// cell's delta shape depends only on the cell's own activity — not on
+/// which metrics earlier cells happened to register first — which is what
+/// makes cell output independent of execution order and of checkpoint
+/// restores.
+MetricsSnapshot DropZeroMetrics(const MetricsSnapshot& snapshot);
 
 /// Thread-local stage label used to attribute scoring cost to pipeline
 /// stages (the batch scoring engine splits its prediction counter by the

@@ -15,8 +15,32 @@
 #include "crew/common/trace.h"
 #include "crew/eval/comprehensibility.h"
 #include "crew/eval/stability.h"
+#include "crew/eval/streaming.h"
 
 namespace crew {
+namespace {
+
+std::atomic<bool> g_stable_timing{false};
+
+}  // namespace
+
+void SetStableTiming(bool stable) {
+  g_stable_timing.store(stable, std::memory_order_relaxed);
+}
+
+bool StableTiming() {
+  return g_stable_timing.load(std::memory_order_relaxed);
+}
+
+void ZeroCellTimings(ExperimentCell* cell) {
+  cell->wall_ms = 0.0;
+  cell->scoring.materialize_ms = 0.0;
+  cell->scoring.predict_ms = 0.0;
+  cell->aggregate.runtime_ms = 0.0;
+  for (MetricEntry& entry : cell->registry) entry.total_ms = 0.0;
+  for (InstanceEvaluation& r : cell->instances) r.runtime_ms = 0.0;
+}
+
 namespace {
 
 // Runner-level registry handles (interned once, leaked with the registry).
@@ -202,7 +226,8 @@ Result<InstanceEvaluation> EvaluateInstance(
   }
 
   r.surrogate_r2 = words.surrogate_r2;
-  r.runtime_ms = words.runtime_ms;
+  // The only wall-clock-derived per-instance field; see SetStableTiming.
+  r.runtime_ms = StableTiming() ? 0.0 : words.runtime_ms;
   return r;
 }
 
@@ -415,52 +440,104 @@ ExperimentResult ExperimentRunner::EmptyResult() const {
 
 Result<ExperimentResult> ExperimentRunner::RunWith(
     const std::function<Status(const PreparedDataset&, ExperimentResult*)>&
-        fn) const {
+        fn,
+    const RunHooks& hooks) const {
   ExperimentResult out = EmptyResult();
+  CellStreamer streamer(hooks);
+  // The runner does not know how many cells `fn` will append; a seed-armed
+  // fault resolves against the dataset count (one "window" per dataset).
+  CREW_RETURN_IF_ERROR(
+      streamer.Begin(out, static_cast<int>(spec_.datasets.size())));
+  size_t streamed = 0;
   for (const BenchmarkEntry& entry : spec_.datasets) {
+    CREW_RETURN_IF_ERROR(streamer.BeforeFreshCell());
     auto prepared = PrepareDataset(entry, spec_);
     if (!prepared.ok()) return prepared.status();
     Status status = fn(prepared.value(), &out);
     if (!status.ok()) return status;
+    // Stream whatever the dataset callback appended. Appends are
+    // idempotent per cell key, so re-running over an existing checkpoint
+    // never duplicates lines — but custom cells are not skipped either
+    // (the runner cannot resume work it does not schedule itself).
+    for (; streamed < out.cells.size(); ++streamed) {
+      if (StableTiming()) ZeroCellTimings(&out.cells[streamed]);
+      CREW_RETURN_IF_ERROR(streamer.Emit(out.cells[streamed]));
+    }
   }
+  CREW_RETURN_IF_ERROR(streamer.Finish(out));
   return out;
 }
 
 Result<ExperimentResult> ExperimentRunner::RunPrepared(
-    const std::vector<PreparedDataset>& prepared) const {
+    const std::vector<PreparedDataset>& prepared,
+    const RunHooks& hooks) const {
   ExperimentResult out = EmptyResult();
   CREW_CHECK(spec_.suite != nullptr);
-  for (const PreparedDataset& p : prepared) {
-    std::vector<SuiteEntry> suite = spec_.suite(p.pipeline);
-    for (const SuiteEntry& entry : suite) {
-      ScopedProgressLabel label(p.name + "/" + entry.name);
-      const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
-      WallTimer timer;
-      auto records = EvaluateInstances(
-          *entry.explainer, *p.pipeline.matcher, p.pipeline.test, p.instances,
-          p.pipeline.embeddings.get(), spec_.seed, spec_.eval);
-      if (!records.ok()) return records.status();
-      ExperimentCell cell;
-      cell.dataset = p.name;
-      cell.variant = entry.name;
-      cell.wall_ms = timer.ElapsedMillis();
-      // One registry read feeds both views, so cell.scoring and
-      // cell.registry can never disagree.
-      cell.registry =
-          MetricsDelta(MetricsRegistry::Global().Snapshot(), before);
-      cell.scoring = ScoringStatsFromMetrics(cell.registry);
-      cell.instances = std::move(records.value());
-      {
-        CREW_TRACE_SPAN("runner/reduce");
-        cell.aggregate = ReduceInstances(entry.name, cell.instances);
-      }
-      out.cells.push_back(std::move(cell));
+  // Materialize the whole canonical grid (every suite, every cell slot)
+  // before executing anything: checkpoint keys and result positions are a
+  // function of the spec alone, never of execution order.
+  std::vector<std::vector<SuiteEntry>> suites;
+  suites.reserve(prepared.size());
+  std::vector<std::pair<int, int>> tasks;  // (prepared idx, suite entry idx)
+  for (size_t pi = 0; pi < prepared.size(); ++pi) {
+    suites.push_back(spec_.suite(prepared[pi].pipeline));
+    for (size_t ei = 0; ei < suites.back().size(); ++ei) {
+      tasks.emplace_back(static_cast<int>(pi), static_cast<int>(ei));
     }
   }
+  out.cells.resize(tasks.size());
+
+  CellStreamer streamer(hooks);
+  CREW_RETURN_IF_ERROR(streamer.Begin(out, static_cast<int>(tasks.size())));
+
+  // Execution order is a pure schedule: shuffling it (shuffle_seed) or
+  // skipping restored cells changes which slot is filled when, never what
+  // any slot contains — per-instance seeds derive from the grid key.
+  std::vector<int> order(tasks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  if (hooks.shuffle_seed != 0) {
+    Rng(hooks.shuffle_seed).Shuffle(order);
+  }
+
+  for (const int slot : order) {
+    const PreparedDataset& p = prepared[tasks[slot].first];
+    const SuiteEntry& entry = suites[tasks[slot].first][tasks[slot].second];
+    ExperimentCell& cell = out.cells[slot];
+    auto restored = streamer.TryRestore(p.name, entry.name, &cell);
+    if (!restored.ok()) return restored.status();
+    if (restored.value()) continue;
+    CREW_RETURN_IF_ERROR(streamer.BeforeFreshCell());
+    ScopedProgressLabel label(p.name + "/" + entry.name);
+    const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+    WallTimer timer;
+    auto records = EvaluateInstances(
+        *entry.explainer, *p.pipeline.matcher, p.pipeline.test, p.instances,
+        p.pipeline.embeddings.get(), spec_.seed, spec_.eval);
+    if (!records.ok()) return records.status();
+    cell.dataset = p.name;
+    cell.variant = entry.name;
+    cell.wall_ms = timer.ElapsedMillis();
+    // One registry read feeds both views, so cell.scoring and
+    // cell.registry can never disagree. All-zero entries are dropped so
+    // the delta's shape reflects this cell's activity only — metrics a
+    // *previous* cell registered must not leak in, or the block would
+    // depend on execution order.
+    cell.registry = DropZeroMetrics(
+        MetricsDelta(MetricsRegistry::Global().Snapshot(), before));
+    cell.scoring = ScoringStatsFromMetrics(cell.registry);
+    cell.instances = std::move(records.value());
+    {
+      CREW_TRACE_SPAN("runner/reduce");
+      cell.aggregate = ReduceInstances(entry.name, cell.instances);
+    }
+    if (StableTiming()) ZeroCellTimings(&cell);
+    CREW_RETURN_IF_ERROR(streamer.Emit(cell));
+  }
+  CREW_RETURN_IF_ERROR(streamer.Finish(out));
   return out;
 }
 
-Result<ExperimentResult> ExperimentRunner::Run() const {
+Result<ExperimentResult> ExperimentRunner::Run(const RunHooks& hooks) const {
   std::vector<PreparedDataset> prepared;
   prepared.reserve(spec_.datasets.size());
   for (const BenchmarkEntry& entry : spec_.datasets) {
@@ -468,7 +545,7 @@ Result<ExperimentResult> ExperimentRunner::Run() const {
     if (!p.ok()) return p.status();
     prepared.push_back(std::move(p.value()));
   }
-  return RunPrepared(prepared);
+  return RunPrepared(prepared, hooks);
 }
 
 }  // namespace crew

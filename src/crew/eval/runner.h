@@ -17,6 +17,50 @@
 
 namespace crew {
 
+class StreamingSink;
+class CheckpointStore;
+class FaultInjector;
+
+/// Stable-timing mode: when enabled, every wall-clock-derived field the
+/// runner records (InstanceEvaluation::runtime_ms, ExperimentCell::wall_ms,
+/// registry duration totals and the ScoringStats ms view) is forced to
+/// zero. Counts, metric values, and everything seeded stay untouched. This
+/// is what makes "resumed run == uninterrupted run" checkable *byte for
+/// byte*: timing is the only legitimately nondeterministic output, so the
+/// resume tests and the CI resume-smoke diff run with --stable-timing on
+/// both sides. Process-global, default off.
+void SetStableTiming(bool stable);
+bool StableTiming();
+
+/// Forces every wall-clock-derived field of `cell` to zero (wall_ms,
+/// registry duration totals, the ScoringStats ms view, per-instance
+/// runtime_ms) — the normalization stable-timing mode applies to fresh and
+/// checkpoint-restored cells alike.
+struct ExperimentCell;
+void ZeroCellTimings(ExperimentCell* cell);
+
+/// Optional streaming/restart plumbing threaded through ExperimentRunner.
+/// Default-constructed hooks are inert: no sinks, no checkpoint, no fault
+/// injection, canonical schedule — the pre-streaming behavior exactly.
+struct RunHooks {
+  /// Receive every cell as it completes (completion order, including
+  /// checkpoint-restored cells, which arrive with restored=true).
+  std::vector<StreamingSink*> sinks;
+  /// When set, completed cells are durably appended here and cells already
+  /// present are restored instead of recomputed (--resume).
+  CheckpointStore* checkpoint = nullptr;
+  /// When set, the runner consults it before each fresh cell and "crashes"
+  /// deterministically once armed (--fail-after-cells / CREW_FAULT_SEED).
+  FaultInjector* fault = nullptr;
+  /// Prefix for checkpoint cell keys; disambiguates repeated grids over
+  /// the same dataset x variant pairs (e.g. bench_f4's sweep points).
+  std::string scope;
+  /// Non-zero: execute the grid in an Rng(shuffle_seed)-shuffled order.
+  /// Results land in canonical slots regardless — this exists so tests can
+  /// prove cell results are independent of completion order.
+  uint64_t shuffle_seed = 0;
+};
+
 /// Minimum seconds between runner progress heartbeats on stderr
 /// ("[progress] dataset/variant done/total (rate/s)"). <= 0 disables them
 /// entirely. Heartbeats are throttled and observation-only: they never
@@ -219,20 +263,27 @@ class ExperimentRunner {
 
   const ExperimentSpec& spec() const { return spec_; }
 
-  /// The standard grid: spec.suite x spec.datasets.
-  Result<ExperimentResult> Run() const;
+  /// The standard grid: spec.suite x spec.datasets. `hooks` (optional)
+  /// adds streaming sinks, checkpoint restore/append, fault injection, and
+  /// schedule shuffling; default hooks reproduce the plain batch run.
+  Result<ExperimentResult> Run(const RunHooks& hooks = RunHooks()) const;
 
   /// Run() over externally prepared datasets — lets budget sweeps reuse
   /// one trained pipeline across several runner invocations.
   Result<ExperimentResult> RunPrepared(
-      const std::vector<PreparedDataset>& prepared) const;
+      const std::vector<PreparedDataset>& prepared,
+      const RunHooks& hooks = RunHooks()) const;
 
   /// Shared prepare + emit scaffolding for experiments whose cell
   /// production is custom (global explanations, matcher quality): `fn` is
-  /// invoked once per prepared dataset and appends cells.
+  /// invoked once per prepared dataset and appends cells. Cells appended
+  /// by `fn` are streamed/checkpointed after each dataset completes, but —
+  /// unlike the standard grid — already-checkpointed cells are not skipped
+  /// (the runner cannot resume work it does not schedule itself).
   Result<ExperimentResult> RunWith(
       const std::function<Status(const PreparedDataset&, ExperimentResult*)>&
-          fn) const;
+          fn,
+      const RunHooks& hooks = RunHooks()) const;
 
  private:
   ExperimentResult EmptyResult() const;

@@ -85,19 +85,35 @@ Table MakeCellTable(const std::vector<ExperimentCell>& cells,
   return table;
 }
 
-Status TableSink::Consume(const ExperimentResult& result) {
+Status TableSink::OnBegin(const ExperimentResult& header) {
+  include_metrics_ = header.include_metrics;
+  cells_.clear();
+  return Status::Ok();
+}
+
+Status TableSink::OnCell(const ExperimentCell& cell, bool restored) {
+  (void)restored;
+  cells_.push_back(cell);
+  return Status::Ok();
+}
+
+Status TableSink::OnEnd(const ExperimentResult& result) {
+  (void)result;  // rendered purely from what crossed the stream
   const Table table =
-      MakeCellTable(result.cells, columns_, dataset_column_, variant_column_);
+      MakeCellTable(cells_, columns_, dataset_column_, variant_column_);
   // crew-lint: allow(raw-stdio): sinks write the experiment's *product*
   // (aligned tables) to the caller-supplied stream; this is serialized
   // output, not diagnostics.
   std::fprintf(out_, "%s\n", table.ToAligned().c_str());
-  if (result.include_metrics) {
+  if (include_metrics_) {
     std::vector<MetricsSnapshot> deltas;
-    deltas.reserve(result.cells.size());
-    for (const ExperimentCell& cell : result.cells) {
+    deltas.reserve(cells_.size());
+    for (const ExperimentCell& cell : cells_) {
       deltas.push_back(cell.registry);
     }
+    // MetricsSum merges by sorted key, so this table is identical no
+    // matter in which order the cells arrived (canonical, shuffled, or a
+    // resumed run's restored-then-fresh order).
     const MetricsSnapshot total = MetricsSum(deltas);
     if (!total.empty()) {
       // crew-lint: allow(raw-stdio): same caller-supplied product stream as
@@ -106,19 +122,46 @@ Status TableSink::Consume(const ExperimentResult& result) {
                    MetricsSnapshotTable(total).ToAligned().c_str());
     }
   }
+  cells_.clear();
+  return Status::Ok();
+}
+
+PartialTableSink::PartialTableSink(std::vector<TableColumn> columns,
+                                   std::FILE* out)
+    : columns_(std::move(columns)), out_(out) {
+  if (columns_.empty()) {
+    columns_.push_back({"inst", [](const ExperimentCell& cell) {
+                          return std::to_string(cell.aggregate.instances);
+                        }});
+    columns_.push_back(AggColumn("aopc", &ExplainerAggregate::aopc));
+    columns_.push_back({"wall_ms", [](const ExperimentCell& cell) {
+                          return Table::Num(cell.wall_ms, 1);
+                        }});
+  }
+}
+
+Status PartialTableSink::OnBegin(const ExperimentResult& header) {
+  expected_cells_ = static_cast<int>(header.cells.size());
+  cells_.clear();
+  return Status::Ok();
+}
+
+Status PartialTableSink::OnCell(const ExperimentCell& cell, bool restored) {
+  (void)restored;
+  cells_.push_back(cell);
+  const Table table = MakeCellTable(cells_, columns_);
+  // crew-lint: allow(raw-stdio): live progress table on the
+  // caller-supplied stream (stderr by default), deliberately outside the
+  // severity-tagged logging channel like the runner heartbeats.
+  std::fprintf(out_, "-- partial: %d/%d cell(s) --\n%s\n",
+               static_cast<int>(cells_.size()),
+               expected_cells_ > 0 ? expected_cells_
+                                   : static_cast<int>(cells_.size()),
+               table.ToAligned().c_str());
   return Status::Ok();
 }
 
 namespace {
-
-// %.17g round-trips doubles exactly; non-finite values (which JSON cannot
-// represent) degrade to null.
-std::string JsonNum(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
 
 std::string JsonStr(const std::string& s) {
   std::string out;
@@ -131,29 +174,29 @@ std::string JsonStr(const std::string& s) {
 void AppendAggregate(const ExplainerAggregate& agg, std::string* out) {
   *out += "{";
   *out += "\"instances\":" + std::to_string(agg.instances);
-  *out += ",\"aopc\":" + JsonNum(agg.aopc);
-  *out += ",\"comprehensiveness_at_1\":" + JsonNum(agg.comprehensiveness_at_1);
-  *out += ",\"comprehensiveness_at_3\":" + JsonNum(agg.comprehensiveness_at_3);
-  *out += ",\"sufficiency_at_1\":" + JsonNum(agg.sufficiency_at_1);
-  *out += ",\"sufficiency_at_3\":" + JsonNum(agg.sufficiency_at_3);
+  *out += ",\"aopc\":" + JsonDouble(agg.aopc);
+  *out += ",\"comprehensiveness_at_1\":" + JsonDouble(agg.comprehensiveness_at_1);
+  *out += ",\"comprehensiveness_at_3\":" + JsonDouble(agg.comprehensiveness_at_3);
+  *out += ",\"sufficiency_at_1\":" + JsonDouble(agg.sufficiency_at_1);
+  *out += ",\"sufficiency_at_3\":" + JsonDouble(agg.sufficiency_at_3);
   *out += ",\"comprehensiveness_budget5\":" +
-          JsonNum(agg.comprehensiveness_budget5);
-  *out += ",\"decision_flip_rate\":" + JsonNum(agg.decision_flip_rate);
-  *out += ",\"insertion_aopc\":" + JsonNum(agg.insertion_aopc);
-  *out += ",\"flip_set_rate\":" + JsonNum(agg.flip_set_rate);
-  *out += ",\"flip_set_units\":" + JsonNum(agg.flip_set_units);
-  *out += ",\"flip_set_tokens\":" + JsonNum(agg.flip_set_tokens);
-  *out += ",\"total_units\":" + JsonNum(agg.total_units);
-  *out += ",\"effective_units\":" + JsonNum(agg.effective_units);
-  *out += ",\"words_per_unit\":" + JsonNum(agg.words_per_unit);
-  *out += ",\"semantic_coherence\":" + JsonNum(agg.semantic_coherence);
-  *out += ",\"attribute_purity\":" + JsonNum(agg.attribute_purity);
-  *out += ",\"cluster_coherence\":" + JsonNum(agg.cluster_coherence);
-  *out += ",\"cluster_silhouette\":" + JsonNum(agg.cluster_silhouette);
-  *out += ",\"mean_chosen_k\":" + JsonNum(agg.mean_chosen_k);
-  *out += ",\"stability\":" + JsonNum(agg.stability);
-  *out += ",\"surrogate_r2\":" + JsonNum(agg.surrogate_r2);
-  *out += ",\"runtime_ms\":" + JsonNum(agg.runtime_ms);
+          JsonDouble(agg.comprehensiveness_budget5);
+  *out += ",\"decision_flip_rate\":" + JsonDouble(agg.decision_flip_rate);
+  *out += ",\"insertion_aopc\":" + JsonDouble(agg.insertion_aopc);
+  *out += ",\"flip_set_rate\":" + JsonDouble(agg.flip_set_rate);
+  *out += ",\"flip_set_units\":" + JsonDouble(agg.flip_set_units);
+  *out += ",\"flip_set_tokens\":" + JsonDouble(agg.flip_set_tokens);
+  *out += ",\"total_units\":" + JsonDouble(agg.total_units);
+  *out += ",\"effective_units\":" + JsonDouble(agg.effective_units);
+  *out += ",\"words_per_unit\":" + JsonDouble(agg.words_per_unit);
+  *out += ",\"semantic_coherence\":" + JsonDouble(agg.semantic_coherence);
+  *out += ",\"attribute_purity\":" + JsonDouble(agg.attribute_purity);
+  *out += ",\"cluster_coherence\":" + JsonDouble(agg.cluster_coherence);
+  *out += ",\"cluster_silhouette\":" + JsonDouble(agg.cluster_silhouette);
+  *out += ",\"mean_chosen_k\":" + JsonDouble(agg.mean_chosen_k);
+  *out += ",\"stability\":" + JsonDouble(agg.stability);
+  *out += ",\"surrogate_r2\":" + JsonDouble(agg.surrogate_r2);
+  *out += ",\"runtime_ms\":" + JsonDouble(agg.runtime_ms);
   *out += "}";
 }
 
@@ -168,7 +211,7 @@ void AppendRegistry(const MetricsSnapshot& registry, std::string* out) {
     *out += JsonStr(entry.name) + ":{\"count\":" +
             std::to_string(entry.count);
     if (entry.kind == MetricKind::kDuration) {
-      *out += ",\"ms\":" + JsonNum(entry.total_ms);
+      *out += ",\"ms\":" + JsonDouble(entry.total_ms);
     }
     *out += "}";
   }
@@ -188,7 +231,7 @@ void AppendCell(const ExperimentCell& cell, bool include_metrics,
       if (!r.evaluated) continue;
       if (!first) *out += ",";
       first = false;
-      *out += JsonNum(r.aopc);
+      *out += JsonDouble(r.aopc);
     }
     *out += "]";
     bool any_curve = false;
@@ -208,7 +251,7 @@ void AppendCell(const ExperimentCell& cell, bool include_metrics,
         *out += "[";
         for (size_t i = 0; i < r.curve.size(); ++i) {
           if (i > 0) *out += ",";
-          *out += JsonNum(r.curve[i]);
+          *out += JsonDouble(r.curve[i]);
         }
         *out += "]";
       }
@@ -218,9 +261,9 @@ void AppendCell(const ExperimentCell& cell, bool include_metrics,
   *out += ",\"scoring\":{\"predictions\":" +
           std::to_string(cell.scoring.predictions) +
           ",\"batches\":" + std::to_string(cell.scoring.batches) +
-          ",\"materialize_ms\":" + JsonNum(cell.scoring.materialize_ms) +
-          ",\"predict_ms\":" + JsonNum(cell.scoring.predict_ms) + "}";
-  *out += ",\"wall_ms\":" + JsonNum(cell.wall_ms);
+          ",\"materialize_ms\":" + JsonDouble(cell.scoring.materialize_ms) +
+          ",\"predict_ms\":" + JsonDouble(cell.scoring.predict_ms) + "}";
+  *out += ",\"wall_ms\":" + JsonDouble(cell.wall_ms);
   if (include_metrics && !cell.registry.empty()) {
     *out += ",\"registry\":";
     AppendRegistry(cell.registry, out);
@@ -230,7 +273,7 @@ void AppendCell(const ExperimentCell& cell, bool include_metrics,
     for (size_t i = 0; i < cell.metrics.size(); ++i) {
       if (i > 0) *out += ",";
       *out += JsonStr(cell.metrics[i].first) + ":" +
-              JsonNum(cell.metrics[i].second);
+              JsonDouble(cell.metrics[i].second);
     }
     *out += "}";
   }
@@ -263,6 +306,27 @@ std::string ExperimentResultToJson(const ExperimentResult& result) {
   }
   out += "]}";
   return out;
+}
+
+Status JsonSink::OnBegin(const ExperimentResult& header) {
+  buffered_ = ExperimentResult();
+  buffered_.name = header.name;
+  buffered_.params = header.params;
+  buffered_.include_metrics = header.include_metrics;
+  return Status::Ok();
+}
+
+Status JsonSink::OnCell(const ExperimentCell& cell, bool restored) {
+  (void)restored;
+  buffered_.cells.push_back(cell);
+  return Status::Ok();
+}
+
+Status JsonSink::OnEnd(const ExperimentResult& result) {
+  (void)result;  // the document is assembled from the streamed cells only
+  Status status = WriteExperimentJson(buffered_, path_);
+  buffered_ = ExperimentResult();
+  return status;
 }
 
 Status WriteExperimentJson(const ExperimentResult& result,

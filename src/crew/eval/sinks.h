@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "crew/eval/runner.h"
+#include "crew/eval/streaming.h"
 #include "crew/eval/table.h"
 
 namespace crew {
@@ -14,7 +15,9 @@ namespace crew {
 /// Structured consumer of an ExperimentResult. Experiments produce one
 /// result and hand it to any number of sinks (console table, JSON file,
 /// ...), replacing the hand-rolled accumulation + printf each bench used
-/// to carry.
+/// to carry. The concrete sinks below are thin adapters over the
+/// streaming path (StreamingSink): Consume() replays the finished result
+/// cell by cell, so batch and streamed emission share one code path.
 class ExperimentSink {
  public:
   virtual ~ExperimentSink() = default;
@@ -56,8 +59,11 @@ Table MakeCellTable(const std::vector<ExperimentCell>& cells,
                     const std::vector<TableColumn>& columns,
                     bool dataset_column = true, bool variant_column = true);
 
-/// Prints the cell grid as an aligned table.
-class TableSink : public ExperimentSink {
+/// Prints the cell grid as an aligned table. As a StreamingSink it buffers
+/// cells in arrival order and renders once at OnEnd — everything the table
+/// shows travelled through the per-cell stream, so the streamed and batch
+/// paths cannot drift apart.
+class TableSink : public ExperimentSink, public StreamingSink {
  public:
   explicit TableSink(std::vector<TableColumn> columns,
                      bool dataset_column = true, bool variant_column = true,
@@ -65,13 +71,42 @@ class TableSink : public ExperimentSink {
       : columns_(std::move(columns)), dataset_column_(dataset_column),
         variant_column_(variant_column), out_(out) {}
 
-  Status Consume(const ExperimentResult& result) override;
+  Status Consume(const ExperimentResult& result) override {
+    return ReplayResult(*this, result);
+  }
+
+  Status OnBegin(const ExperimentResult& header) override;
+  Status OnCell(const ExperimentCell& cell, bool restored) override;
+  Status OnEnd(const ExperimentResult& result) override;
 
  private:
   std::vector<TableColumn> columns_;
   bool dataset_column_;
   bool variant_column_;
   std::FILE* out_;
+  bool include_metrics_ = false;
+  std::vector<ExperimentCell> cells_;
+};
+
+/// Live partial-table mode for interactive (TTY) runs: after every cell it
+/// re-renders the table of everything seen so far, prefixed with a
+/// "-- partial: done/total --" marker, so a long grid shows its rows as
+/// they land instead of going silent until the end. Pass no columns to get
+/// a compact default (instances / aopc / wall ms).
+class PartialTableSink : public StreamingSink {
+ public:
+  explicit PartialTableSink(std::vector<TableColumn> columns =
+                                std::vector<TableColumn>(),
+                            std::FILE* out = stderr);
+
+  Status OnBegin(const ExperimentResult& header) override;
+  Status OnCell(const ExperimentCell& cell, bool restored) override;
+
+ private:
+  std::vector<TableColumn> columns_;
+  std::FILE* out_;
+  int expected_cells_ = 0;
+  std::vector<ExperimentCell> cells_;
 };
 
 /// Serializes the full result (params, every aggregate field, per-instance
@@ -85,17 +120,24 @@ std::string ExperimentResultToJson(const ExperimentResult& result);
 Status WriteExperimentJson(const ExperimentResult& result,
                            const std::string& path);
 
-/// File-writing sink over WriteExperimentJson.
-class JsonSink : public ExperimentSink {
+/// File-writing sink over WriteExperimentJson. The streamed form
+/// reassembles the document from the header + buffered cells, so the
+/// emitted JSON is built purely from what crossed the stream.
+class JsonSink : public ExperimentSink, public StreamingSink {
  public:
   explicit JsonSink(std::string path) : path_(std::move(path)) {}
 
   Status Consume(const ExperimentResult& result) override {
-    return WriteExperimentJson(result, path_);
+    return ReplayResult(*this, result);
   }
+
+  Status OnBegin(const ExperimentResult& header) override;
+  Status OnCell(const ExperimentCell& cell, bool restored) override;
+  Status OnEnd(const ExperimentResult& result) override;
 
  private:
   std::string path_;
+  ExperimentResult buffered_;
 };
 
 }  // namespace crew

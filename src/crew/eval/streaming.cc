@@ -1,0 +1,1074 @@
+#include "crew/eval/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "crew/common/logging.h"
+#include "crew/common/rng.h"
+#include "crew/explain/serialize.h"
+
+namespace crew {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+std::string JsonStr(const std::string& s) {
+  std::string out;
+  out += '"';
+  out += JsonEscape(s);
+  out += '"';
+  return out;
+}
+
+const char* JsonBool(bool b) { return b ? "true" : "false"; }
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kDuration:
+      return "duration";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+Result<MetricKind> MetricKindFromName(const std::string& name) {
+  if (name == "counter") return MetricKind::kCounter;
+  if (name == "duration") return MetricKind::kDuration;
+  if (name == "histogram") return MetricKind::kHistogram;
+  return Status::DataLoss("unknown metric kind: " + name);
+}
+
+// Every ExplainerAggregate field, in declaration order. The aggregate is
+// checkpointed verbatim (rather than re-reduced on restore) so a restored
+// cell is bit-identical to the freshly computed one even if the reduction
+// ever changes between versions.
+void AppendAggregate(const ExplainerAggregate& agg, std::string* out) {
+  *out += "{\"name\":" + JsonStr(agg.name);
+  *out += ",\"instances\":" + std::to_string(agg.instances);
+  *out += ",\"aopc\":" + JsonDouble(agg.aopc);
+  *out += ",\"comprehensiveness_at_1\":" +
+          JsonDouble(agg.comprehensiveness_at_1);
+  *out += ",\"comprehensiveness_at_3\":" +
+          JsonDouble(agg.comprehensiveness_at_3);
+  *out += ",\"sufficiency_at_1\":" + JsonDouble(agg.sufficiency_at_1);
+  *out += ",\"sufficiency_at_3\":" + JsonDouble(agg.sufficiency_at_3);
+  *out += ",\"comprehensiveness_budget5\":" +
+          JsonDouble(agg.comprehensiveness_budget5);
+  *out += ",\"decision_flip_rate\":" + JsonDouble(agg.decision_flip_rate);
+  *out += ",\"insertion_aopc\":" + JsonDouble(agg.insertion_aopc);
+  *out += ",\"flip_set_rate\":" + JsonDouble(agg.flip_set_rate);
+  *out += ",\"flip_set_units\":" + JsonDouble(agg.flip_set_units);
+  *out += ",\"flip_set_tokens\":" + JsonDouble(agg.flip_set_tokens);
+  *out += ",\"total_units\":" + JsonDouble(agg.total_units);
+  *out += ",\"effective_units\":" + JsonDouble(agg.effective_units);
+  *out += ",\"words_per_unit\":" + JsonDouble(agg.words_per_unit);
+  *out += ",\"semantic_coherence\":" + JsonDouble(agg.semantic_coherence);
+  *out += ",\"attribute_purity\":" + JsonDouble(agg.attribute_purity);
+  *out += ",\"cluster_coherence\":" + JsonDouble(agg.cluster_coherence);
+  *out += ",\"cluster_silhouette\":" + JsonDouble(agg.cluster_silhouette);
+  *out += ",\"mean_chosen_k\":" + JsonDouble(agg.mean_chosen_k);
+  *out += ",\"stability\":" + JsonDouble(agg.stability);
+  *out += ",\"surrogate_r2\":" + JsonDouble(agg.surrogate_r2);
+  *out += ",\"runtime_ms\":" + JsonDouble(agg.runtime_ms);
+  *out += "}";
+}
+
+// Every InstanceEvaluation field. Benches re-reduce instances after the
+// grid runs (match/non-match splits, cross-dataset summaries, paired
+// bootstrap over per-instance AOPC), so the checkpoint must carry full
+// per-instance fidelity — an aggregate-only record could not reproduce a
+// byte-identical --json document on resume.
+void AppendInstance(const InstanceEvaluation& r, std::string* out) {
+  *out += "{\"index\":" + std::to_string(r.index);
+  *out += ",\"evaluated\":";
+  *out += JsonBool(r.evaluated);
+  *out += ",\"predicted_match\":";
+  *out += JsonBool(r.predicted_match);
+  *out += ",\"aopc\":" + JsonDouble(r.aopc);
+  *out += ",\"comprehensiveness_at_1\":" +
+          JsonDouble(r.comprehensiveness_at_1);
+  *out += ",\"comprehensiveness_at_3\":" +
+          JsonDouble(r.comprehensiveness_at_3);
+  *out += ",\"sufficiency_at_1\":" + JsonDouble(r.sufficiency_at_1);
+  *out += ",\"sufficiency_at_3\":" + JsonDouble(r.sufficiency_at_3);
+  *out += ",\"comprehensiveness_budget\":" +
+          JsonDouble(r.comprehensiveness_budget);
+  *out += ",\"decision_flip\":";
+  *out += JsonBool(r.decision_flip);
+  *out += ",\"insertion_aopc\":" + JsonDouble(r.insertion_aopc);
+  *out += ",\"flip_set\":{\"flipped\":";
+  *out += JsonBool(r.flip_set.flipped);
+  *out += ",\"units_removed\":" + std::to_string(r.flip_set.units_removed);
+  *out += ",\"tokens_removed\":" + std::to_string(r.flip_set.tokens_removed);
+  *out += "}";
+  *out += ",\"curve\":[";
+  for (size_t i = 0; i < r.curve.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += JsonDouble(r.curve[i]);
+  }
+  *out += "]";
+  *out += ",\"total_units\":" + JsonDouble(r.total_units);
+  *out += ",\"effective_units\":" + JsonDouble(r.effective_units);
+  *out += ",\"words_per_unit\":" + JsonDouble(r.words_per_unit);
+  *out += ",\"semantic_coherence\":" + JsonDouble(r.semantic_coherence);
+  *out += ",\"attribute_purity\":" + JsonDouble(r.attribute_purity);
+  *out += ",\"has_cluster_stats\":";
+  *out += JsonBool(r.has_cluster_stats);
+  *out += ",\"cluster_coherence\":" + JsonDouble(r.cluster_coherence);
+  *out += ",\"cluster_silhouette\":" + JsonDouble(r.cluster_silhouette);
+  *out += ",\"chosen_k\":" + std::to_string(r.chosen_k);
+  *out += ",\"stability\":" + JsonDouble(r.stability);
+  *out += ",\"surrogate_r2\":" + JsonDouble(r.surrogate_r2);
+  *out += ",\"runtime_ms\":" + JsonDouble(r.runtime_ms);
+  *out += "}";
+}
+
+// ---------------------------------------------------------------------------
+// Reading: a minimal recursive-descent JSON parser. The stream is
+// machine-written by this file, so the parser only needs to be strict and
+// small, not featureful. Object field order is preserved (vector, not map).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    CREW_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::DataLoss("json parse error at byte " +
+                            std::to_string(pos_) + ": " + why);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Fail(std::string("expected '") + literal + "'");
+    }
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape digit");
+            }
+          }
+          // JsonEscape only emits \u00xx (control bytes); decode the BMP
+          // range anyway so round-tripping foreign documents works.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("expected number");
+    pos_ += static_cast<size_t>(end - begin);
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      CREW_RETURN_IF_ERROR(ParseLiteral("true"));
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = true;
+      return Status::Ok();
+    }
+    if (c == 'f') {
+      CREW_RETURN_IF_ERROR(ParseLiteral("false"));
+      out->type = JsonValue::Type::kBool;
+      out->bool_value = false;
+      return Status::Ok();
+    }
+    if (c == 'n') {
+      CREW_RETURN_IF_ERROR(ParseLiteral("null"));
+      out->type = JsonValue::Type::kNull;
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return Fail("expected '['");
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue element;
+      CREW_RETURN_IF_ERROR(ParseValue(&element));
+      out->array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      CREW_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      CREW_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -- typed field extraction (missing/mistyped fields are DataLoss) ---------
+
+Status GetField(const JsonValue& obj, const char* key, const JsonValue** out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Status::DataLoss(std::string("missing field: ") + key);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status GetString(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* v = nullptr;
+  CREW_RETURN_IF_ERROR(GetField(obj, key, &v));
+  if (v->type != JsonValue::Type::kString) {
+    return Status::DataLoss(std::string("field is not a string: ") + key);
+  }
+  *out = v->str;
+  return Status::Ok();
+}
+
+Status GetBool(const JsonValue& obj, const char* key, bool* out) {
+  const JsonValue* v = nullptr;
+  CREW_RETURN_IF_ERROR(GetField(obj, key, &v));
+  if (v->type != JsonValue::Type::kBool) {
+    return Status::DataLoss(std::string("field is not a bool: ") + key);
+  }
+  *out = v->bool_value;
+  return Status::Ok();
+}
+
+// Numbers serialized as null are NaN (JSON cannot express non-finite
+// doubles); anything else must be a plain number.
+Status GetDouble(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = nullptr;
+  CREW_RETURN_IF_ERROR(GetField(obj, key, &v));
+  if (v->type == JsonValue::Type::kNull) {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return Status::Ok();
+  }
+  if (v->type != JsonValue::Type::kNumber) {
+    return Status::DataLoss(std::string("field is not a number: ") + key);
+  }
+  *out = v->number;
+  return Status::Ok();
+}
+
+Status GetInt(const JsonValue& obj, const char* key, int* out) {
+  double d = 0.0;
+  CREW_RETURN_IF_ERROR(GetDouble(obj, key, &d));
+  *out = static_cast<int>(d);
+  return Status::Ok();
+}
+
+Status GetInt64(const JsonValue& obj, const char* key, std::int64_t* out) {
+  double d = 0.0;
+  CREW_RETURN_IF_ERROR(GetDouble(obj, key, &d));
+  *out = static_cast<std::int64_t>(d);
+  return Status::Ok();
+}
+
+Status GetArray(const JsonValue& obj, const char* key, const JsonValue** out) {
+  CREW_RETURN_IF_ERROR(GetField(obj, key, out));
+  if ((*out)->type != JsonValue::Type::kArray) {
+    return Status::DataLoss(std::string("field is not an array: ") + key);
+  }
+  return Status::Ok();
+}
+
+Status GetObject(const JsonValue& obj, const char* key,
+                 const JsonValue** out) {
+  CREW_RETURN_IF_ERROR(GetField(obj, key, out));
+  if ((*out)->type != JsonValue::Type::kObject) {
+    return Status::DataLoss(std::string("field is not an object: ") + key);
+  }
+  return Status::Ok();
+}
+
+Status ParseAggregate(const JsonValue& v, ExplainerAggregate* agg) {
+  CREW_RETURN_IF_ERROR(GetString(v, "name", &agg->name));
+  CREW_RETURN_IF_ERROR(GetInt(v, "instances", &agg->instances));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "aopc", &agg->aopc));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "comprehensiveness_at_1",
+                                 &agg->comprehensiveness_at_1));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "comprehensiveness_at_3",
+                                 &agg->comprehensiveness_at_3));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "sufficiency_at_1", &agg->sufficiency_at_1));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "sufficiency_at_3", &agg->sufficiency_at_3));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "comprehensiveness_budget5",
+                                 &agg->comprehensiveness_budget5));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "decision_flip_rate", &agg->decision_flip_rate));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "insertion_aopc", &agg->insertion_aopc));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "flip_set_rate", &agg->flip_set_rate));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "flip_set_units", &agg->flip_set_units));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "flip_set_tokens", &agg->flip_set_tokens));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "total_units", &agg->total_units));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "effective_units", &agg->effective_units));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "words_per_unit", &agg->words_per_unit));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "semantic_coherence", &agg->semantic_coherence));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "attribute_purity", &agg->attribute_purity));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "cluster_coherence", &agg->cluster_coherence));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "cluster_silhouette", &agg->cluster_silhouette));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "mean_chosen_k", &agg->mean_chosen_k));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "stability", &agg->stability));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "surrogate_r2", &agg->surrogate_r2));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "runtime_ms", &agg->runtime_ms));
+  return Status::Ok();
+}
+
+Status ParseInstance(const JsonValue& v, InstanceEvaluation* r) {
+  CREW_RETURN_IF_ERROR(GetInt(v, "index", &r->index));
+  CREW_RETURN_IF_ERROR(GetBool(v, "evaluated", &r->evaluated));
+  CREW_RETURN_IF_ERROR(GetBool(v, "predicted_match", &r->predicted_match));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "aopc", &r->aopc));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "comprehensiveness_at_1", &r->comprehensiveness_at_1));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "comprehensiveness_at_3", &r->comprehensiveness_at_3));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "sufficiency_at_1", &r->sufficiency_at_1));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "sufficiency_at_3", &r->sufficiency_at_3));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "comprehensiveness_budget",
+                                 &r->comprehensiveness_budget));
+  CREW_RETURN_IF_ERROR(GetBool(v, "decision_flip", &r->decision_flip));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "insertion_aopc", &r->insertion_aopc));
+  const JsonValue* flip = nullptr;
+  CREW_RETURN_IF_ERROR(GetObject(v, "flip_set", &flip));
+  CREW_RETURN_IF_ERROR(GetBool(*flip, "flipped", &r->flip_set.flipped));
+  CREW_RETURN_IF_ERROR(
+      GetInt(*flip, "units_removed", &r->flip_set.units_removed));
+  CREW_RETURN_IF_ERROR(
+      GetInt(*flip, "tokens_removed", &r->flip_set.tokens_removed));
+  const JsonValue* curve = nullptr;
+  CREW_RETURN_IF_ERROR(GetArray(v, "curve", &curve));
+  r->curve.clear();
+  r->curve.reserve(curve->array.size());
+  for (const JsonValue& point : curve->array) {
+    if (point.type == JsonValue::Type::kNull) {
+      r->curve.push_back(std::numeric_limits<double>::quiet_NaN());
+    } else if (point.type == JsonValue::Type::kNumber) {
+      r->curve.push_back(point.number);
+    } else {
+      return Status::DataLoss("curve element is not a number");
+    }
+  }
+  CREW_RETURN_IF_ERROR(GetDouble(v, "total_units", &r->total_units));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "effective_units", &r->effective_units));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "words_per_unit", &r->words_per_unit));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "semantic_coherence", &r->semantic_coherence));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "attribute_purity", &r->attribute_purity));
+  CREW_RETURN_IF_ERROR(GetBool(v, "has_cluster_stats", &r->has_cluster_stats));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "cluster_coherence", &r->cluster_coherence));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(v, "cluster_silhouette", &r->cluster_silhouette));
+  CREW_RETURN_IF_ERROR(GetInt(v, "chosen_k", &r->chosen_k));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "stability", &r->stability));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "surrogate_r2", &r->surrogate_r2));
+  CREW_RETURN_IF_ERROR(GetDouble(v, "runtime_ms", &r->runtime_ms));
+  return Status::Ok();
+}
+
+Status ParseStringPairs(
+    const JsonValue& v, const char* what,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  for (const JsonValue& pair : v.array) {
+    if (pair.type != JsonValue::Type::kArray || pair.array.size() != 2 ||
+        pair.array[0].type != JsonValue::Type::kString ||
+        pair.array[1].type != JsonValue::Type::kString) {
+      return Status::DataLoss(std::string(what) +
+                              " entry is not a [string, string] pair");
+    }
+    out->emplace_back(pair.array[0].str, pair.array[1].str);
+  }
+  return Status::Ok();
+}
+
+Status FileError(const char* what, const std::string& path) {
+  return Status::DataLoss(std::string(what) + ": " + path);
+}
+
+// fflush + kernel-level sync: after this returns OK the line survives a
+// process kill (the crash mode the fault injector simulates; a power cut
+// additionally needs the directory entry synced, which is out of scope).
+Status FlushAndSync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return FileError("flush failed", path);
+#ifdef _WIN32
+  if (_commit(_fileno(f)) != 0) return FileError("sync failed", path);
+#else
+  if (fsync(fileno(f)) != 0) return FileError("sync failed", path);
+#endif
+  return Status::Ok();
+}
+
+Status WriteLine(std::FILE* f, const std::string& line,
+                 const std::string& path) {
+  if (std::fwrite(line.data(), 1, line.size(), f) != line.size() ||
+      std::fputc('\n', f) == EOF) {
+    return FileError("short write", path);
+  }
+  return FlushAndSync(f, path);
+}
+
+}  // namespace
+
+std::string CellKey(const std::string& scope, const std::string& dataset,
+                    const std::string& variant) {
+  std::string key;
+  if (!scope.empty()) {
+    key += scope;
+    key += '|';
+  }
+  key += dataset;
+  key += '|';
+  key += variant;
+  return key;
+}
+
+std::string HeaderToJsonl(const ExperimentResult& header) {
+  // Built with += throughout: GCC 12's -Wrestrict false positive
+  // (PR105651) fires on `"literal" + std::to_string(...)` chains.
+  std::string out = "{\"v\":";
+  out += std::to_string(kCellSchemaVersion);
+  out += ",\"kind\":\"header\"";
+  out += ",\"experiment\":";
+  out += JsonStr(header.name);
+  out += ",\"params\":[";
+  for (size_t i = 0; i < header.params.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '[';
+    out += JsonStr(header.params[i].first);
+    out += ',';
+    out += JsonStr(header.params[i].second);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string CellToJsonl(const std::string& scope, const ExperimentCell& cell) {
+  std::string out = "{\"v\":";  // += throughout; see HeaderToJsonl
+  out += std::to_string(kCellSchemaVersion);
+  out += ",\"kind\":\"cell\"";
+  out += ",\"scope\":";
+  out += JsonStr(scope);
+  out += ",\"dataset\":";
+  out += JsonStr(cell.dataset);
+  out += ",\"variant\":";
+  out += JsonStr(cell.variant);
+  out += ",\"aggregate\":";
+  AppendAggregate(cell.aggregate, &out);
+  out += ",\"instances\":[";
+  for (size_t i = 0; i < cell.instances.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendInstance(cell.instances[i], &out);
+  }
+  out += "]";
+  out += ",\"scoring\":{\"predictions\":";
+  out += std::to_string(cell.scoring.predictions);
+  out += ",\"batches\":";
+  out += std::to_string(cell.scoring.batches);
+  out += ",\"materialize_ms\":";
+  out += JsonDouble(cell.scoring.materialize_ms);
+  out += ",\"predict_ms\":";
+  out += JsonDouble(cell.scoring.predict_ms);
+  out += "}";
+  out += ",\"registry\":[";
+  for (size_t i = 0; i < cell.registry.size(); ++i) {
+    const MetricEntry& entry = cell.registry[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    out += JsonStr(entry.name);
+    out += ",\"kind\":\"";
+    out += MetricKindName(entry.kind);
+    out += "\",\"count\":";
+    out += std::to_string(entry.count);
+    out += ",\"ms\":";
+    out += JsonDouble(entry.total_ms);
+    out += "}";
+  }
+  out += "]";
+  out += ",\"metrics\":[";
+  for (size_t i = 0; i < cell.metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '[';
+    out += JsonStr(cell.metrics[i].first);
+    out += ',';
+    out += JsonDouble(cell.metrics[i].second);
+    out += ']';
+  }
+  out += "]";
+  out += ",\"notes\":[";
+  for (size_t i = 0; i < cell.notes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '[';
+    out += JsonStr(cell.notes[i].first);
+    out += ',';
+    out += JsonStr(cell.notes[i].second);
+    out += ']';
+  }
+  out += "]";
+  out += ",\"wall_ms\":";
+  out += JsonDouble(cell.wall_ms);
+  out += "}";
+  return out;
+}
+
+Result<CellRecord> ParseCellRecord(const std::string& line) {
+  JsonParser parser(line);
+  Result<JsonValue> parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (root.type != JsonValue::Type::kObject) {
+    return Status::DataLoss("record is not a JSON object");
+  }
+
+  CellRecord record;
+  // Version first: a wrong version is a schema mismatch
+  // (kFailedPrecondition), which callers treat as fatal even on the
+  // trailing line, unlike the DataLoss a torn write produces.
+  const JsonValue* version = root.Find("v");
+  if (version == nullptr || version->type != JsonValue::Type::kNumber) {
+    return Status::DataLoss("record has no version field");
+  }
+  record.version = static_cast<int>(version->number);
+  if (record.version != kCellSchemaVersion) {
+    return Status::FailedPrecondition(
+        "unsupported cell schema version " + std::to_string(record.version) +
+        " (expected " + std::to_string(kCellSchemaVersion) + ")");
+  }
+  CREW_RETURN_IF_ERROR(GetString(root, "kind", &record.kind));
+
+  if (record.kind == "header") {
+    CREW_RETURN_IF_ERROR(GetString(root, "experiment", &record.experiment));
+    const JsonValue* params = nullptr;
+    CREW_RETURN_IF_ERROR(GetArray(root, "params", &params));
+    CREW_RETURN_IF_ERROR(ParseStringPairs(*params, "params", &record.params));
+    return record;
+  }
+  if (record.kind != "cell") {
+    return Status::DataLoss("unknown record kind: " + record.kind);
+  }
+
+  CREW_RETURN_IF_ERROR(GetString(root, "scope", &record.scope));
+  ExperimentCell& cell = record.cell;
+  CREW_RETURN_IF_ERROR(GetString(root, "dataset", &cell.dataset));
+  CREW_RETURN_IF_ERROR(GetString(root, "variant", &cell.variant));
+  const JsonValue* aggregate = nullptr;
+  CREW_RETURN_IF_ERROR(GetObject(root, "aggregate", &aggregate));
+  CREW_RETURN_IF_ERROR(ParseAggregate(*aggregate, &cell.aggregate));
+  const JsonValue* instances = nullptr;
+  CREW_RETURN_IF_ERROR(GetArray(root, "instances", &instances));
+  cell.instances.clear();
+  cell.instances.reserve(instances->array.size());
+  for (const JsonValue& inst : instances->array) {
+    if (inst.type != JsonValue::Type::kObject) {
+      return Status::DataLoss("instance entry is not an object");
+    }
+    InstanceEvaluation r;
+    CREW_RETURN_IF_ERROR(ParseInstance(inst, &r));
+    cell.instances.push_back(std::move(r));
+  }
+  const JsonValue* scoring = nullptr;
+  CREW_RETURN_IF_ERROR(GetObject(root, "scoring", &scoring));
+  CREW_RETURN_IF_ERROR(
+      GetInt64(*scoring, "predictions", &cell.scoring.predictions));
+  CREW_RETURN_IF_ERROR(GetInt64(*scoring, "batches", &cell.scoring.batches));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(*scoring, "materialize_ms", &cell.scoring.materialize_ms));
+  CREW_RETURN_IF_ERROR(
+      GetDouble(*scoring, "predict_ms", &cell.scoring.predict_ms));
+  const JsonValue* registry = nullptr;
+  CREW_RETURN_IF_ERROR(GetArray(root, "registry", &registry));
+  cell.registry.clear();
+  cell.registry.reserve(registry->array.size());
+  for (const JsonValue& entry : registry->array) {
+    if (entry.type != JsonValue::Type::kObject) {
+      return Status::DataLoss("registry entry is not an object");
+    }
+    MetricEntry m;
+    CREW_RETURN_IF_ERROR(GetString(entry, "name", &m.name));
+    std::string kind;
+    CREW_RETURN_IF_ERROR(GetString(entry, "kind", &kind));
+    Result<MetricKind> parsed_kind = MetricKindFromName(kind);
+    if (!parsed_kind.ok()) return parsed_kind.status();
+    m.kind = *parsed_kind;
+    CREW_RETURN_IF_ERROR(GetInt64(entry, "count", &m.count));
+    CREW_RETURN_IF_ERROR(GetDouble(entry, "ms", &m.total_ms));
+    cell.registry.push_back(std::move(m));
+  }
+  // Canonicalize: snapshots are name-sorted by contract, and the --metrics
+  // sum as well as the "registry" JSON block iterate in stored order, so a
+  // restored cell must never depend on how the shard happened to order its
+  // entries (e.g. after a hand-merged file).
+  std::sort(cell.registry.begin(), cell.registry.end(),
+            [](const MetricEntry& a, const MetricEntry& b) {
+              return a.name < b.name;
+            });
+  const JsonValue* metrics = nullptr;
+  CREW_RETURN_IF_ERROR(GetArray(root, "metrics", &metrics));
+  cell.metrics.clear();
+  for (const JsonValue& pair : metrics->array) {
+    if (pair.type != JsonValue::Type::kArray || pair.array.size() != 2 ||
+        pair.array[0].type != JsonValue::Type::kString) {
+      return Status::DataLoss("metrics entry is not a [string, number] pair");
+    }
+    double value = 0.0;
+    if (pair.array[1].type == JsonValue::Type::kNull) {
+      value = std::numeric_limits<double>::quiet_NaN();
+    } else if (pair.array[1].type == JsonValue::Type::kNumber) {
+      value = pair.array[1].number;
+    } else {
+      return Status::DataLoss("metrics entry is not a [string, number] pair");
+    }
+    cell.metrics.emplace_back(pair.array[0].str, value);
+  }
+  const JsonValue* notes = nullptr;
+  CREW_RETURN_IF_ERROR(GetArray(root, "notes", &notes));
+  CREW_RETURN_IF_ERROR(ParseStringPairs(*notes, "notes", &cell.notes));
+  CREW_RETURN_IF_ERROR(GetDouble(root, "wall_ms", &cell.wall_ms));
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlStreamSink
+// ---------------------------------------------------------------------------
+
+JsonlStreamSink::JsonlStreamSink(std::string path, std::string scope)
+    : path_(std::move(path)), scope_(std::move(scope)) {}
+
+JsonlStreamSink::~JsonlStreamSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JsonlStreamSink::OnBegin(const ExperimentResult& header) {
+  if (file_ != nullptr) return Status::Ok();  // sweep re-entry: keep shard
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path_);
+  }
+  return WriteLine(file_, HeaderToJsonl(header), path_);
+}
+
+Status JsonlStreamSink::OnCell(const ExperimentCell& cell, bool restored) {
+  (void)restored;  // the stream is the full record, restored cells included
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("JsonlStreamSink: OnCell before OnBegin");
+  }
+  return WriteLine(file_, CellToJsonl(scope_, cell), path_);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {}
+
+CheckpointStore::~CheckpointStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CheckpointStore::Load() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::Ok();  // no file yet: empty checkpoint
+  std::string content;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return FileError("read failed", path_);
+
+  size_t pos = 0;
+  size_t good_end = 0;  // byte offset just past the last accepted line
+  std::string drop_reason;
+  while (pos < content.size()) {
+    const size_t newline = content.find('\n', pos);
+    const bool terminated = newline != std::string::npos;
+    const size_t line_end = terminated ? newline : content.size();
+    const std::string line = content.substr(pos, line_end - pos);
+    const bool last = !terminated || line_end + 1 >= content.size();
+
+    if (!terminated) {
+      // A torn append: the crash hit mid-line. Never trusted, even if it
+      // happens to parse — the bytes after the fsync'd prefix are garbage.
+      drop_reason = "unterminated trailing line";
+      break;
+    }
+    Result<CellRecord> parsed = ParseCellRecord(line);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kFailedPrecondition) {
+        // Schema-version mismatch: refuse the whole file, the caller must
+        // not silently recompute cells a newer/older writer produced.
+        return parsed.status();
+      }
+      if (last) {
+        drop_reason = parsed.status().message();
+        break;
+      }
+      return Status::DataLoss("corrupt checkpoint record (line not last): " +
+                              parsed.status().message() + ": " + path_);
+    }
+    const CellRecord& record = *parsed;
+    if (record.kind == "header") {
+      if (experiment_.empty()) {
+        experiment_ = record.experiment;
+      } else if (experiment_ != record.experiment) {
+        return Status::FailedPrecondition(
+            "checkpoint mixes experiments: " + experiment_ + " vs " +
+            record.experiment + ": " + path_);
+      }
+    } else {
+      const std::string key =
+          CellKey(record.scope, record.cell.dataset, record.cell.variant);
+      if (cells_.find(key) != cells_.end()) {
+        CREW_LOG(Warning) << "checkpoint " << path_
+                          << ": duplicate cell " << key << "; keeping first";
+      } else {
+        cells_.emplace(key, record.cell);
+      }
+    }
+    has_records_ = true;
+    good_end = line_end + 1;
+    pos = line_end + 1;
+  }
+
+  if (!drop_reason.empty()) {
+    CREW_LOG(Warning) << "checkpoint " << path_
+                      << ": dropping torn trailing line (" << drop_reason
+                      << "); truncating to last complete record";
+    // Rewrite the good prefix so future appends extend complete records
+    // only. (A plain O_APPEND after the torn bytes would corrupt the file
+    // permanently.)
+    std::FILE* w = std::fopen(path_.c_str(), "wb");
+    if (w == nullptr) return FileError("cannot truncate", path_);
+    if (good_end > 0 &&
+        std::fwrite(content.data(), 1, good_end, w) != good_end) {
+      std::fclose(w);
+      return FileError("truncate write failed", path_);
+    }
+    const Status synced = FlushAndSync(w, path_);
+    std::fclose(w);
+    CREW_RETURN_IF_ERROR(synced);
+  }
+  return Status::Ok();
+}
+
+bool CheckpointStore::IsDone(const std::string& key) const {
+  return cells_.find(key) != cells_.end();
+}
+
+const ExperimentCell* CheckpointStore::Restored(const std::string& key) const {
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+Status CheckpointStore::EnsureOpenForAppend() {
+  if (file_ != nullptr) return Status::Ok();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open for append: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status CheckpointStore::Append(const std::string& scope,
+                               const ExperimentCell& cell) {
+  const std::string key = CellKey(scope, cell.dataset, cell.variant);
+  if (IsDone(key)) return Status::Ok();  // idempotent replay
+  CREW_RETURN_IF_ERROR(EnsureOpenForAppend());
+  CREW_RETURN_IF_ERROR(WriteLine(file_, CellToJsonl(scope, cell), path_));
+  cells_.emplace(key, cell);
+  has_records_ = true;
+  return Status::Ok();
+}
+
+Status CheckpointStore::WriteHeaderIfNew(const ExperimentResult& header) {
+  if (has_records_) {
+    if (experiment_.empty()) {
+      experiment_ = header.name;  // cells-only shard; adopt the name
+      return Status::Ok();
+    }
+    if (experiment_ != header.name) {
+      return Status::FailedPrecondition(
+          "checkpoint " + path_ + " belongs to experiment '" + experiment_ +
+          "', refusing to resume '" + header.name + "'");
+    }
+    return Status::Ok();
+  }
+  CREW_RETURN_IF_ERROR(EnsureOpenForAppend());
+  CREW_RETURN_IF_ERROR(WriteLine(file_, HeaderToJsonl(header), path_));
+  experiment_ = header.name;
+  has_records_ = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+void FaultInjector::ArmAfterCells(int cells) {
+  fail_after_ = cells < 0 ? -1 : cells;
+  seed_armed_ = false;
+}
+
+void FaultInjector::ArmFromSeed(uint64_t seed) {
+  seed_ = seed;
+  seed_armed_ = true;
+  fail_after_ = -1;
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::FromFlagsAndEnv(
+    int fail_after_cells) {
+  std::unique_ptr<FaultInjector> injector;
+  if (fail_after_cells >= 0) {
+    injector = std::make_unique<FaultInjector>();
+    injector->ArmAfterCells(fail_after_cells);
+  } else if (const char* env = std::getenv("CREW_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      injector = std::make_unique<FaultInjector>();
+      injector->ArmFromSeed(static_cast<uint64_t>(seed));
+    } else {
+      CREW_LOG(Warning) << "ignoring unparseable CREW_FAULT_SEED: " << env;
+    }
+  }
+  if (injector != nullptr && std::getenv("CREW_FAULT_HARD") != nullptr) {
+    injector->set_hard(true);
+  }
+  return injector;
+}
+
+void FaultInjector::FinalizeSchedule(int total_cells) {
+  if (!seed_armed_ || fail_after_ >= 0) return;
+  // Uniform over [0, total): the injector always fires somewhere inside
+  // the grid, including "before the very first cell".
+  fail_after_ = Rng(seed_).UniformInt(total_cells < 1 ? 1 : total_cells);
+  CREW_LOG(Info) << "CREW_FAULT_SEED=" << seed_ << " arms fault after "
+                 << fail_after_ << " cell(s)";
+}
+
+bool FaultInjector::FireNow() {
+  if (fail_after_ < 0 || completed_ < fail_after_) return false;
+  CREW_LOG(Warning) << "fault injector firing after " << completed_
+                    << " completed cell(s)";
+  if (hard_) std::_Exit(kFaultExitCode);
+  return true;
+}
+
+Status FaultInjector::FaultStatus() const {
+  return Status::Internal("fault injected after " +
+                          std::to_string(completed_) + " cell(s)");
+}
+
+// ---------------------------------------------------------------------------
+// CellStreamer
+// ---------------------------------------------------------------------------
+
+Status CellStreamer::Begin(const ExperimentResult& header, int total_cells) {
+  if (hooks_.checkpoint != nullptr) {
+    CREW_RETURN_IF_ERROR(hooks_.checkpoint->WriteHeaderIfNew(header));
+  }
+  if (hooks_.fault != nullptr) hooks_.fault->FinalizeSchedule(total_cells);
+  for (StreamingSink* sink : hooks_.sinks) {
+    CREW_RETURN_IF_ERROR(sink->OnBegin(header));
+  }
+  return Status::Ok();
+}
+
+Result<bool> CellStreamer::TryRestore(const std::string& dataset,
+                                      const std::string& variant,
+                                      ExperimentCell* cell) {
+  if (hooks_.checkpoint == nullptr) return false;
+  const ExperimentCell* restored =
+      hooks_.checkpoint->Restored(CellKey(hooks_.scope, dataset, variant));
+  if (restored == nullptr) return false;
+  *cell = *restored;
+  if (StableTiming()) ZeroCellTimings(cell);
+  for (StreamingSink* sink : hooks_.sinks) {
+    CREW_RETURN_IF_ERROR(sink->OnCell(*cell, /*restored=*/true));
+  }
+  return true;
+}
+
+Status CellStreamer::BeforeFreshCell() {
+  if (hooks_.fault != nullptr && hooks_.fault->FireNow()) {
+    return hooks_.fault->FaultStatus();
+  }
+  return Status::Ok();
+}
+
+Status CellStreamer::Emit(const ExperimentCell& cell) {
+  if (hooks_.checkpoint != nullptr) {
+    CREW_RETURN_IF_ERROR(hooks_.checkpoint->Append(hooks_.scope, cell));
+  }
+  for (StreamingSink* sink : hooks_.sinks) {
+    CREW_RETURN_IF_ERROR(sink->OnCell(cell, /*restored=*/false));
+  }
+  if (hooks_.fault != nullptr) hooks_.fault->CellCompleted();
+  return Status::Ok();
+}
+
+Status CellStreamer::Finish(const ExperimentResult& result) {
+  for (StreamingSink* sink : hooks_.sinks) {
+    CREW_RETURN_IF_ERROR(sink->OnEnd(result));
+  }
+  return Status::Ok();
+}
+
+Status ReplayResult(StreamingSink& sink, const ExperimentResult& result) {
+  CREW_RETURN_IF_ERROR(sink.OnBegin(result));
+  for (const ExperimentCell& cell : result.cells) {
+    CREW_RETURN_IF_ERROR(sink.OnCell(cell, /*restored=*/false));
+  }
+  return sink.OnEnd(result);
+}
+
+}  // namespace crew

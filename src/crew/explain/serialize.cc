@@ -1,5 +1,8 @@
 #include "crew/explain/serialize.h"
 
+#include <cmath>
+#include <cstdio>
+
 #include "crew/common/string_util.h"
 
 namespace crew {
@@ -43,6 +46,13 @@ std::string JsonEscape(const std::string& s) {
     }
   }
   return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 std::string WordExplanationToJson(const WordExplanation& explanation) {

@@ -12,6 +12,13 @@ namespace crew {
 /// control characters).
 std::string JsonEscape(const std::string& s);
 
+/// Formats a double as a JSON number that round-trips bit-exactly (%.17g).
+/// Non-finite values, which JSON cannot represent, degrade to "null";
+/// readers map null back to NaN. Every CREW serializer (batch sinks and
+/// the streaming JSONL layer) uses this one formatter so the two paths
+/// are byte-identical by construction.
+std::string JsonDouble(double v);
+
 /// Serializes a word-level explanation as a self-describing JSON object:
 /// { "base_score": ..., "surrogate_r2": ..., "attributions": [
 ///   {"token": ..., "side": "left", "attribute": 0, "position": 1,

@@ -198,6 +198,51 @@ TEST(MetricsSumTest, SumsByNameSorted) {
   EXPECT_NEAR(MetricOrDie(sum, "y").total_ms, 5.0, 1e-9);
 }
 
+TEST(MetricsSumTest, SumIsIndependentOfSnapshotAndEntryOrder) {
+  // Regression test for the --metrics summary of resumed runs: a resumed
+  // grid hands MetricsSum the same per-cell deltas in a different order
+  // (and restored cells' registries were re-sorted on parse), so the merge
+  // must canonicalize — sorted by name — rather than echo input order.
+  MetricsSnapshot a;
+  a.push_back({"b/metric", MetricKind::kCounter, 1, 0.0});
+  a.push_back({"c/metric", MetricKind::kDuration, 2, 3.0});
+  MetricsSnapshot b;
+  b.push_back({"a/metric", MetricKind::kCounter, 5, 0.0});
+  b.push_back({"b/metric", MetricKind::kCounter, 7, 0.0});
+  MetricsSnapshot b_reversed(b.rbegin(), b.rend());
+
+  const MetricsSnapshot forward = MetricsSum({a, b});
+  const MetricsSnapshot backward = MetricsSum({b_reversed, a});
+  ASSERT_EQ(forward.size(), 3u);
+  ASSERT_EQ(backward.size(), 3u);
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].name, backward[i].name);
+    EXPECT_EQ(forward[i].kind, backward[i].kind);
+    EXPECT_EQ(forward[i].count, backward[i].count);
+    EXPECT_EQ(forward[i].total_ms, backward[i].total_ms);
+  }
+  EXPECT_EQ(forward[0].name, "a/metric");
+  EXPECT_EQ(forward[1].name, "b/metric");
+  EXPECT_EQ(forward[1].count, 8);
+  EXPECT_EQ(forward[2].name, "c/metric");
+}
+
+TEST(DropZeroMetricsTest, KeepsOnlyEntriesWithActivity) {
+  // Per-cell registry deltas are filtered through this so a cell's delta
+  // shape does not depend on which metrics earlier cells registered —
+  // the property that makes cell output independent of execution order.
+  MetricsSnapshot snapshot;
+  snapshot.push_back({"active/count", MetricKind::kCounter, 3, 0.0});
+  snapshot.push_back({"idle", MetricKind::kCounter, 0, 0.0});
+  snapshot.push_back({"active/ms", MetricKind::kDuration, 0, 1.5});
+  snapshot.push_back({"idle/duration", MetricKind::kDuration, 0, 0.0});
+  const MetricsSnapshot kept = DropZeroMetrics(snapshot);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].name, "active/count");
+  EXPECT_EQ(kept[1].name, "active/ms");
+  EXPECT_TRUE(DropZeroMetrics(MetricsSnapshot()).empty());
+}
+
 TEST(FindMetricTest, ReturnsNullForMissing) {
   MetricsSnapshot snapshot;
   snapshot.push_back({"present", MetricKind::kCounter, 1, 0.0});

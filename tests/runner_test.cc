@@ -427,6 +427,46 @@ TEST(ExperimentRunnerTest, GridIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ExperimentRunnerTest, CellsAreIndependentOfCompletionOrder) {
+  // Property check behind the resume contract: executing the grid in a
+  // shuffled order must not change a single byte of the serialized result
+  // — cells land in canonical slots and derive their seeds from the grid
+  // key, and the registry delta of a cell depends only on that cell's own
+  // activity (all-zero entries registered by earlier cells are dropped).
+  // Stable-timing mode zeroes the wall-clock fields that legitimately
+  // differ.
+  SetStableTiming(true);
+  auto make_runner = [] {
+    ExperimentSpec spec;
+    spec.name = "order_independence";
+    spec.datasets = {TinyEntry("tiny-a", 3), TinyEntry("tiny-b", 4)};
+    spec.matcher = MatcherKind::kLogistic;
+    spec.instances_per_dataset = 2;
+    spec.seed = 7;
+    spec.suite = [](const TrainedPipeline&) {
+      std::vector<SuiteEntry> suite;
+      LimeConfig lime;
+      lime.perturbation.num_samples = 16;
+      suite.push_back({"lime", std::make_unique<LimeExplainer>(lime)});
+      suite.push_back({"random", std::make_unique<RandomExplainer>()});
+      return suite;
+    };
+    return ExperimentRunner(std::move(spec));
+  };
+  auto canonical = make_runner().Run();
+  ASSERT_TRUE(canonical.ok());
+  const std::string canonical_json = ExperimentResultToJson(*canonical);
+  for (uint64_t shuffle_seed : {11u, 42u, 97u}) {
+    SCOPED_TRACE("shuffle_seed=" + std::to_string(shuffle_seed));
+    RunHooks hooks;
+    hooks.shuffle_seed = shuffle_seed;
+    auto shuffled = make_runner().Run(hooks);
+    ASSERT_TRUE(shuffled.ok());
+    EXPECT_EQ(ExperimentResultToJson(*shuffled), canonical_json);
+  }
+  SetStableTiming(false);
+}
+
 TEST(ExperimentRunnerTest, RegistryDeltaAgreesWithScoringStats) {
   // Each cell carries the full metrics-registry delta for its run; the
   // legacy ScoringStats view is derived from the same read, so the two
